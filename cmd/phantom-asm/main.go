@@ -1,0 +1,151 @@
+// Command phantom-asm is a small assembler/disassembler utility for the
+// simulated ISA. It decodes hex byte strings, and can dump the gadget
+// sites of the simulated kernel image (the paper's Listings 1-4) as they
+// are laid out in memory.
+//
+// Usage:
+//
+//	phantom-asm -hex "0f 1f 44 00 00 55 48 89 e5"
+//	phantom-asm -asm 'mov rax, 42; jmp *rdi'
+//	echo 'loop: add rax, 1; jmp loop' | phantom-asm -asm -
+//	phantom-asm -kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phantom/internal/isa"
+	"phantom/internal/kernel"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+func main() {
+	hexStr := flag.String("hex", "", "hex bytes to disassemble (spaces optional)")
+	asmSrc := flag.String("asm", "", "assembly source to assemble ('-' reads stdin)")
+	dumpKernel := flag.Bool("kernel", false, "disassemble the simulated kernel's gadget sites")
+	base := flag.Uint64("base", 0x400000, "virtual base address")
+	flag.Parse()
+
+	switch {
+	case *hexStr != "":
+		if err := disasmHex(*hexStr, *base); err != nil {
+			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
+			os.Exit(1)
+		}
+	case *asmSrc != "":
+		if err := assembleText(*asmSrc, *base); err != nil {
+			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
+			os.Exit(1)
+		}
+	case *dumpKernel:
+		if err := dumpGadgets(); err != nil {
+			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// assembleText assembles source (or stdin when src is "-") and prints the
+// machine code alongside its disassembly.
+func assembleText(src string, base uint64) error {
+	if src == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	blob, syms, err := isa.Assemble(src, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d bytes at %#x\n", len(blob), base)
+	for _, line := range isa.Disassemble(blob, base) {
+		fmt.Println(line)
+	}
+	if len(syms) > 0 {
+		fmt.Println("symbols:")
+		for _, s := range syms {
+			fmt.Printf("  %#012x %s\n", s.Addr, s.Name)
+		}
+	}
+	fmt.Printf("hex: %x\n", blob)
+	return nil
+}
+
+func disasmHex(s string, base uint64) error {
+	s = strings.NewReplacer(" ", "", "\t", "", "\n", "", "0x", "").Replace(s)
+	if len(s)%2 != 0 {
+		return fmt.Errorf("odd-length hex string")
+	}
+	blob := make([]byte, len(s)/2)
+	if _, err := fmt.Sscanf(s, "%x", &blob); err != nil {
+		// Parse manually: Sscanf %x wants the exact length.
+		for i := 0; i < len(blob); i++ {
+			if _, err := fmt.Sscanf(s[2*i:2*i+2], "%02x", &blob[i]); err != nil {
+				return fmt.Errorf("bad hex at byte %d: %v", i, err)
+			}
+		}
+	}
+	for _, line := range isa.Disassemble(blob, base) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func dumpGadgets() error {
+	k, err := kernel.Boot(uarch.Zen2(), kernel.Config{Seed: 1, NoiseLevel: 0})
+	if err != nil {
+		return err
+	}
+	sites := []struct {
+		name  string
+		label string
+		n     int
+		ref   string
+	}{
+		{"syscall entry", "entry", 20, "dispatcher"},
+		{"__task_pid_nr_ns", "getpid_site", 7, "Listing 1 (offset 0xf6520)"},
+		{"__fdget_pos", "fdget_pos", 8, "Listing 2 (offset 0x41db60)"},
+		{"disclosure gadget", "disclosure_gadget", 2, "Listing 3 (offset 0x41da52)"},
+		{"read_data (MDS module)", "mds", 10, "Listing 4"},
+		{"P3 disclosure gadget", "mds_disclosure", 5, "Section 6.1"},
+		{"covert module", "covert", 5, "Section 6.4"},
+	}
+	for _, s := range sites {
+		va := k.Symbol(s.label)
+		fmt.Printf("--- %s — %s ---\n", s.name, s.ref)
+		blob, err := readKernel(k, va, s.n*10)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for i := 0; i < s.n && off < len(blob); i++ {
+			in := isa.Decode(blob[off:])
+			fmt.Printf("%#012x (+%#x): %v\n", va+uint64(off), va+uint64(off)-k.ImageBase, in)
+			off += in.Len
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func readKernel(k *kernel.Kernel, va uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		pa, f := k.M.KernelAS.Translate(va+uint64(i), mem.AccessRead, false)
+		if f != nil {
+			return out[:i], nil
+		}
+		out[i] = k.M.Phys.Read8(pa)
+	}
+	return out, nil
+}

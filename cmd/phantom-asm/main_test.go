@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestDisasmHex(t *testing.T) {
+	if err := disasmHex("0f1f440000554889e5", 0x400000); err != nil {
+		t.Fatal(err)
+	}
+	if err := disasmHex("0f 1f 44 00 00", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := disasmHex("0f1", 0); err == nil {
+		t.Fatal("odd-length hex accepted")
+	}
+	if err := disasmHex("zz", 0); err == nil {
+		t.Fatal("non-hex accepted")
+	}
+}
+
+func TestDumpGadgets(t *testing.T) {
+	if err := dumpGadgets(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleText(t *testing.T) {
+	if err := assembleText("start: mov rax, 1; jmp start", 0x400000); err != nil {
+		t.Fatal(err)
+	}
+	if err := assembleText("bogus", 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Command phantom-trace runs a built-in Phantom speculation demo on a
+// chosen microarchitecture and prints an instruction-by-instruction trace
+// with cycle counts, followed by the attacker-visible performance counters
+// and the simulator's ground-truth transient-activity counters. It makes
+// the decoupled-frontend behaviour of the machine visible: the victim nop
+// executes, a frontend resteer fires, and the transient counters show how
+// far the phantom control flow advanced.
+//
+// Usage:
+//
+//	phantom-trace [-arch zen2] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phantom/internal/btb"
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/pipeline"
+	"phantom/internal/uarch"
+)
+
+func main() {
+	archName := flag.String("arch", "zen2", "microarchitecture (zen1..zen4, intel9..intel13)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*archName, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "phantom-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(archName string, seed int64) error {
+	p, err := uarch.ByName(archName)
+	if err != nil {
+		return err
+	}
+	m := pipeline.New(p, 1<<30, seed)
+	m.Noise.Level = 0
+
+	maskVal, ok := btb.SamePrivAliasMask(m.BTB.Scheme())
+	if !ok {
+		return fmt.Errorf("no alias mask on %s", p)
+	}
+
+	nextPA := uint64(0x1000000)
+	mapCode := func(a *isa.Assembler) error {
+		blob, err := a.Bytes()
+		if err != nil {
+			return err
+		}
+		base := a.Base() &^ (mem.PageSize - 1)
+		end := (a.Base() + uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		if err := m.UserAS.Map(base, nextPA, end-base, mem.PermRead|mem.PermExec|mem.PermUser); err != nil {
+			return err
+		}
+		nextPA += end - base
+		return m.UserAS.WriteBytes(a.Base(), blob)
+	}
+
+	trainVA := uint64(0x5000000000) + 0x6a0
+	victimVA := trainVA ^ maskVal
+	targetVA := (trainVA &^ 0xfff) + 0x40000 + 0xac0
+	probeVA := uint64(0x5100000000)
+
+	ta := isa.NewAssembler(trainVA)
+	ta.JmpReg(isa.RDI)
+	if err := mapCode(ta); err != nil {
+		return err
+	}
+	va := isa.NewAssembler(victimVA)
+	va.NopSled(16)
+	va.Hlt()
+	if err := mapCode(va); err != nil {
+		return err
+	}
+	ca := isa.NewAssembler(targetVA)
+	ca.Load(isa.RAX, isa.R8, 0)
+	ca.Hlt()
+	if err := mapCode(ca); err != nil {
+		return err
+	}
+	if err := m.UserAS.Map(probeVA, nextPA, mem.PageSize, mem.PermRead|mem.PermWrite|mem.PermUser); err != nil {
+		return err
+	}
+
+	fmt.Printf("Phantom speculation demo on %s\n", p)
+	fmt.Printf("  training source A: %#x (jmp* rdi)\n", trainVA)
+	fmt.Printf("  victim B:          %#x (nops; BTB-aliased with A)\n", victimVA)
+	fmt.Printf("  target C:          %#x (load [r8]; hlt)\n\n", targetVA)
+
+	tracer := pipeline.NewRingTracer(512)
+	m.Tracer = tracer
+
+	fmt.Println("--- training run (architectural jmp* to C) ---")
+	m.Regs[isa.RDI] = targetVA
+	m.Regs[isa.R8] = probeVA
+	trace(m, trainVA, 8)
+
+	// Prime the observation state.
+	cPA, _ := m.UserAS.Translate(targetVA, mem.AccessRead, false)
+	pPA, _ := m.UserAS.Translate(probeVA, mem.AccessRead, false)
+	m.Hier.FlushLine(cPA)
+	m.Hier.FlushLine(pPA)
+	m.Uop.Flush(targetVA)
+
+	fmt.Println("\n--- victim run (decoder-detectable misprediction at B) ---")
+	pre := m.Debug
+	tracer.Reset()
+	m.Regs[isa.R8] = probeVA
+	trace(m, victimVA, 8)
+
+	fmt.Println("\n--- pipeline event stream of the victim run ---")
+	for _, e := range tracer.Events() {
+		fmt.Printf("  %v\n", e)
+	}
+
+	d := m.Debug
+	fmt.Println("\n--- attacker-visible performance counters ---")
+	fmt.Printf("  %v\n", m.Perf)
+	fmt.Println("--- simulator ground truth (not attacker-visible) ---")
+	fmt.Printf("  frontend resteers: %d\n", d.FrontendResteers-pre.FrontendResteers)
+	fmt.Printf("  transient fetch lines: %d\n", d.TransientFetchLines-pre.TransientFetchLines)
+	fmt.Printf("  transient decodes:     %d\n", d.TransientDecodes-pre.TransientDecodes)
+	fmt.Printf("  transient µops:        %d\n", d.TransientUops-pre.TransientUops)
+	fmt.Printf("  transient loads:       %d\n", d.TransientLoads-pre.TransientLoads)
+
+	fmt.Println("\n--- observation channels after the victim run ---")
+	lat, ok := m.TimedFetch(targetVA)
+	fmt.Printf("  IF: timed fetch of C = %d cycles (ok=%v)  -> %s\n", lat, ok, verdict(lat < p.MemLatency/2))
+	fmt.Printf("  ID: C in µop cache = %v\n", m.Uop.Present(targetVA))
+	dlat, _ := m.TimedLoad(probeVA)
+	fmt.Printf("  EX: timed load of probe = %d cycles       -> %s\n", dlat, verdict(dlat < p.MemLatency/2))
+	return nil
+}
+
+func verdict(sig bool) string {
+	if sig {
+		return "SIGNAL"
+	}
+	return "no signal"
+}
+
+// trace single-steps from entry, printing each instruction with its cycle
+// cost.
+func trace(m *pipeline.Machine, entry uint64, limit int) {
+	m.RIP = entry
+	for i := 0; i < limit; i++ {
+		va := m.RIP
+		blob := readBytes(m, va, 16)
+		in := isa.Decode(blob)
+		before := m.Cycle
+		res := m.Run(1)
+		fmt.Printf("  %#012x: %-24v %4d cycles\n", va, in, m.Cycle-before)
+		if res.Reason != pipeline.StopLimit {
+			fmt.Printf("  -> %v\n", res)
+			return
+		}
+	}
+}
+
+func readBytes(m *pipeline.Machine, va uint64, n int) []byte {
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		pa, f := m.UserAS.Translate(va+uint64(i), mem.AccessRead, false)
+		if f != nil {
+			break
+		}
+		out = append(out, m.Phys.Read8(pa))
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestTraceDemoRuns(t *testing.T) {
+	for _, arch := range []string{"zen1", "zen2", "zen4", "intel13"} {
+		if err := run(arch, 1); err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+	}
+	if err := run("i486", 1); err == nil {
+		t.Fatal("bogus arch accepted")
+	}
+}

@@ -1,0 +1,486 @@
+// Command phantom regenerates the tables and figures of "Phantom:
+// Exploiting Decoder-detectable Mispredictions" (MICRO 2023) on the
+// simulated machines.
+//
+// Usage:
+//
+//	phantom <experiment> [flags]
+//
+// Experiments:
+//
+//	table1       training×victim misprediction matrix (Table 1)
+//	fig6         speculative-decode page-offset sweep (Figure 6)
+//	fig7         cross-privilege BTB function recovery (Figure 7)
+//	covert       fetch and execute covert channels (Table 2)
+//	kaslr        kernel image KASLR derandomization (Table 3)
+//	physmap      physmap KASLR derandomization (Table 4)
+//	physaddr     physical address of an attacker page (Table 5)
+//	mds          MDS-gadget kernel memory leak (Section 7.4)
+//	mitigations  SuppressBPOnNonBr / AutoIBRS / IBPB evaluation (Sections 6.3, 8)
+//	sls          straight-line speculation cell (Table 1, footnote c)
+//	chain        full Section 7 exploit chain on one boot
+//	all          everything above with default parameters
+//
+// Common flags: -arch, -seed, -runs; see -h of each experiment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phantom"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "fig6":
+		err = cmdFig6(args)
+	case "fig7":
+		err = cmdFig7(args)
+	case "covert":
+		err = cmdCovert(args)
+	case "kaslr":
+		err = cmdKASLR(args)
+	case "physmap":
+		err = cmdPhysmap(args)
+	case "physaddr":
+		err = cmdPhysAddr(args)
+	case "mds":
+		err = cmdMDS(args)
+	case "mitigations":
+		err = cmdMitigations(args)
+	case "sls":
+		err = cmdSLS(args)
+	case "report":
+		err = cmdReport(args)
+	case "chain":
+		err = cmdChain(args)
+	case "all":
+		err = cmdAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "phantom: unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "phantom %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `phantom — reproduce the MICRO'23 Phantom paper on a simulated machine
+
+usage: phantom <experiment> [flags]
+
+experiments:
+  table1       training×victim misprediction matrix   (Table 1)
+  fig6         speculative decode vs page offset      (Figure 6)
+  fig7         BTB index-function recovery            (Figure 7)
+  covert       fetch/execute covert channels          (Table 2)
+  kaslr        kernel image KASLR break               (Table 3)
+  physmap      physmap KASLR break                    (Table 4)
+  physaddr     physical address derandomization       (Table 5)
+  mds          MDS-gadget kernel memory leak          (Section 7.4)
+  mitigations  mitigation evaluation                  (Sections 6.3, 8)
+  sls          straight-line speculation cell         (Table 1, footnote c)
+  report       full paper-vs-measured Markdown report
+  chain        full Section 7 exploit chain
+  all          run everything with defaults
+`)
+}
+
+// emitJSON pretty-prints v to stdout.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// parseArchs resolves a comma-separated -arch value.
+func parseArchs(spec string) ([]phantom.Microarch, error) {
+	switch spec {
+	case "all":
+		return phantom.AllMicroarchs(), nil
+	case "amd":
+		return phantom.AMDMicroarchs(), nil
+	}
+	var out []phantom.Microarch
+	for _, s := range strings.Split(spec, ",") {
+		a := phantom.Microarch(strings.TrimSpace(s))
+		found := false
+		for _, known := range phantom.AllMicroarchs() {
+			if a == known {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown microarchitecture %q", s)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	arch := fs.String("arch", "all", "microarchitecture(s): name, comma list, amd, or all")
+	seed := fs.Int64("seed", 1, "random seed")
+	trials := fs.Int("trials", 6, "per-cell trials")
+	noise := fs.Float64("noise", 0, "noise level (0 = lab conditions)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		tb, err := phantom.RunTable1(a, phantom.Table1Options{Seed: *seed, Trials: *trials, Noise: *noise})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(tb); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Println(tb)
+	}
+	return nil
+}
+
+func cmdFig6(args []string) error {
+	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	arch := fs.String("arch", "zen2,zen4", "microarchitecture(s); the paper plots zen2 and zen4")
+	seed := fs.Int64("seed", 1, "random seed")
+	asJSON := fs.Bool("json", false, "emit JSON instead of an ASCII chart")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		s, err := phantom.RunFig6(a, *seed)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(s); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Println(s)
+	}
+	return nil
+}
+
+func cmdFig7(args []string) error {
+	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	arch := fs.String("arch", "zen3", "microarchitecture (the paper reverse engineers zen3)")
+	seed := fs.Int64("seed", 9, "random seed")
+	samples := fs.Int("samples", 22, "independent collisions to gather")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		if !*asJSON {
+			fmt.Printf("recovering BTB functions on %s (sampling may take ~10s)...\n", a)
+		}
+		f, err := phantom.RunFig7(a, phantom.Fig7Options{Seed: *seed, Samples: *samples})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(f); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Println(f)
+	}
+	return nil
+}
+
+func cmdCovert(args []string) error {
+	fs := flag.NewFlagSet("covert", flag.ExitOnError)
+	arch := fs.String("arch", "amd", "microarchitecture(s)")
+	seed := fs.Int64("seed", 1, "random seed")
+	bits := fs.Int("bits", 4096, "message bits per run")
+	runs := fs.Int("runs", 10, "runs (median reported)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	opts := phantom.Table2Options{Seed: *seed, Bits: *bits, Runs: *runs}
+	rows, err := phantom.RunTable2Fetch(archs, opts)
+	if err != nil {
+		return err
+	}
+	execRows, err := phantom.RunTable2Execute(archs, opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return emitJSON(map[string]any{"fetch": rows, "execute": execRows})
+	}
+	fmt.Print(phantom.FormatTable2("Table 2 (top) — fetch covert channel (P1)", rows))
+	fmt.Println()
+	fmt.Print(phantom.FormatTable2("Table 2 (bottom) — execute covert channel (P2)", execRows))
+	return nil
+}
+
+func cmdKASLR(args []string) error {
+	fs := flag.NewFlagSet("kaslr", flag.ExitOnError)
+	arch := fs.String("arch", "zen2,zen3,zen4", "microarchitecture(s); Table 3 uses zen2, zen3, zen4")
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 20, "reboots (the paper uses 100)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	rows, err := phantom.RunTable3(archs, phantom.DerandOptions{Seed: *seed, Runs: *runs})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return emitJSON(rows)
+	}
+	fmt.Print(phantom.FormatDerand(
+		fmt.Sprintf("Table 3 — kernel image KASLR via P1 (%d runs)", *runs), rows))
+	return nil
+}
+
+func cmdPhysmap(args []string) error {
+	fs := flag.NewFlagSet("physmap", flag.ExitOnError)
+	arch := fs.String("arch", "zen1,zen2", "microarchitecture(s); P2 works on zen1, zen2")
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 10, "reboots")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	rows, err := phantom.RunTable4(archs, phantom.DerandOptions{Seed: *seed, Runs: *runs})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return emitJSON(rows)
+	}
+	fmt.Print(phantom.FormatDerand(
+		fmt.Sprintf("Table 4 — physmap KASLR via P2 (%d runs)", *runs), rows))
+	return nil
+}
+
+func cmdPhysAddr(args []string) error {
+	fs := flag.NewFlagSet("physaddr", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 20, "reboots (the paper uses 100)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
+	fs.Parse(args)
+	rows, err := phantom.RunTable5(phantom.DerandOptions{Seed: *seed, Runs: *runs})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return emitJSON(rows)
+	}
+	fmt.Print(phantom.FormatDerand(
+		fmt.Sprintf("Table 5 — physical address of a user page (%d runs)", *runs), rows))
+	return nil
+}
+
+func cmdMDS(args []string) error {
+	fs := flag.NewFlagSet("mds", flag.ExitOnError)
+	arch := fs.String("arch", "zen2", "microarchitecture (the paper's PoC runs on zen2)")
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 10, "reboots")
+	bytes := fs.Int("bytes", 4096, "bytes to leak per run")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		rep, err := phantom.RunMDSExperiment(a, phantom.MDSOptions{Seed: *seed, Runs: *runs, Bytes: *bytes})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(rep); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Println(rep)
+	}
+	return nil
+}
+
+func cmdMitigations(args []string) error {
+	fs := flag.NewFlagSet("mitigations", flag.ExitOnError)
+	arch := fs.String("arch", "amd", "microarchitecture(s)")
+	seed := fs.Int64("seed", 1, "random seed")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		m, err := phantom.RunMitigations(a, *seed)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			if err := emitJSON(m); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Println(m)
+	}
+	return nil
+}
+
+func cmdSLS(args []string) error {
+	fs := flag.NewFlagSet("sls", flag.ExitOnError)
+	arch := fs.String("arch", "all", "microarchitecture(s)")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Straight-line speculation past an unpredicted return (Spectre-SLS,")
+	fmt.Println("Table 1 footnote c): the sequential bytes after a ret execute")
+	fmt.Println("transiently on AMD parts; Intel frontends stall instead.")
+	fmt.Println()
+	for _, a := range archs {
+		tb, err := phantom.RunTable1(a, phantom.Table1Options{Seed: *seed, Trials: 4})
+		if err != nil {
+			return err
+		}
+		var reach phantom.StageReach
+		for _, row := range tb.Cells {
+			for _, c := range row {
+				if c.Training == "non-branch" && c.Victim == "ret" {
+					reach = c.Reach
+				}
+			}
+		}
+		fmt.Printf("  %-26s %v\n", a.ModelName(), reach)
+	}
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 10, "runs per derandomization experiment")
+	bits := fs.Int("bits", 1024, "bits per covert-channel run")
+	fs.Parse(args)
+	return phantom.GenerateReport(os.Stdout, phantom.ReportOptions{
+		Seed: *seed, Runs: *runs, Bits: *bits,
+	})
+}
+
+func cmdChain(args []string) error {
+	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	arch := fs.String("arch", "zen2", "microarchitecture")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	archs, err := parseArchs(*arch)
+	if err != nil {
+		return err
+	}
+	for _, a := range archs {
+		sys, err := phantom.NewSystem(a, phantom.SystemConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== Full exploit chain on %s (seed %d) ===\n", a.ModelName(), *seed)
+		img, err := sys.BreakImageKASLR()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("1. kernel image:  %#x  correct=%v  (%.4fs sim)\n", img.Guess, img.Correct, img.Seconds)
+		pm, err := sys.BreakPhysmapKASLR(img.Guess)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("2. physmap:       %#x  correct=%v  (%.4fs sim)\n", pm.Guess, pm.Correct, pm.Seconds)
+		pa, err := sys.FindPhysAddr(img.Guess, pm.Guess)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("3. page phys:     %#x  correct=%v  (%.4fs sim)\n", pa.Guess, pa.Correct, pa.Seconds)
+		secretVA, secret := sys.SecretAddr()
+		leak, err := sys.LeakKernelMemory(secretVA, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("4. leak @ %#x: accuracy %.2f%%, %.0f B/s sim\n", secretVA, leak.AccuracyPct, leak.BytesPerSecond)
+		fmt.Printf("   leaked: % x\n", leak.Leaked[:16])
+		fmt.Printf("   truth:  % x\n", secret[:16])
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	runs := fs.Int("runs", 10, "reboots for the multi-run experiments")
+	fs.Parse(args)
+	steps := [][]string{
+		{"table1", "-seed", fmt.Sprint(*seed)},
+		{"fig6"},
+		{"fig7"},
+		{"covert", "-bits", "1024", "-runs", "5"},
+		{"kaslr", "-runs", fmt.Sprint(*runs)},
+		{"physmap", "-runs", fmt.Sprint(*runs)},
+		{"physaddr", "-runs", fmt.Sprint(*runs)},
+		{"mds", "-runs", "5", "-bytes", "1024"},
+		{"mitigations"},
+		{"sls"},
+		{"chain"},
+	}
+	runners := map[string]func([]string) error{
+		"table1": cmdTable1, "fig6": cmdFig6, "fig7": cmdFig7,
+		"covert": cmdCovert, "kaslr": cmdKASLR, "physmap": cmdPhysmap,
+		"physaddr": cmdPhysAddr, "mds": cmdMDS, "mitigations": cmdMitigations,
+		"sls": cmdSLS, "chain": cmdChain,
+	}
+	for _, s := range steps {
+		fmt.Printf("\n===== phantom %s =====\n", strings.Join(s, " "))
+		if err := runners[s[0]](s[1:]); err != nil {
+			return fmt.Errorf("%s: %w", s[0], err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+
+	"phantom"
+)
+
+func TestParseArchs(t *testing.T) {
+	all, err := parseArchs("all")
+	if err != nil || len(all) != 8 {
+		t.Fatalf("all: %v, %v", all, err)
+	}
+	amd, err := parseArchs("amd")
+	if err != nil || len(amd) != 4 {
+		t.Fatalf("amd: %v, %v", amd, err)
+	}
+	list, err := parseArchs("zen2, zen4")
+	if err != nil || len(list) != 2 || list[0] != phantom.Zen2 || list[1] != phantom.Zen4 {
+		t.Fatalf("list: %v, %v", list, err)
+	}
+	if _, err := parseArchs("zen5"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if _, err := parseArchs("zen2,badarch"); err == nil {
+		t.Fatal("partially bad list accepted")
+	}
+}
+
+func TestExperimentsSmallRuns(t *testing.T) {
+	// Every subcommand must complete with tiny parameters (smoke-level
+	// CLI coverage; correctness is asserted by the package tests).
+	if testing.Short() {
+		t.Skip("CLI smoke runs")
+	}
+	cases := [][]string{
+		{"-arch", "zen2", "-trials", "2"},
+	}
+	for _, args := range cases {
+		if err := cmdTable1(args); err != nil {
+			t.Errorf("table1 %v: %v", args, err)
+		}
+	}
+	if err := cmdCovert([]string{"-arch", "zen2", "-bits", "64", "-runs", "1"}); err != nil {
+		t.Errorf("covert: %v", err)
+	}
+	if err := cmdKASLR([]string{"-arch", "zen2", "-runs", "2"}); err != nil {
+		t.Errorf("kaslr: %v", err)
+	}
+	if err := cmdMDS([]string{"-arch", "zen2", "-runs", "1", "-bytes", "64"}); err != nil {
+		t.Errorf("mds: %v", err)
+	}
+	if err := cmdChain([]string{"-arch", "zen2"}); err != nil {
+		t.Errorf("chain: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+// kaslr-break runs the complete Section 7 exploit chain on AMD Zen 1 and
+// Zen 2: derandomize the kernel image (P1, Table 3), then physmap (P2,
+// Table 4), then find the physical address of an attacker page through
+// physmap (Table 5). Each stage consumes only the previous stage's
+// *recovered* values, never simulator ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phantom"
+)
+
+func main() {
+	for _, arch := range []phantom.Microarch{phantom.Zen1, phantom.Zen2} {
+		fmt.Printf("=== %s ===\n", arch.ModelName())
+		sys, err := phantom.NewSystem(arch, phantom.SystemConfig{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		img, err := sys.BreakImageKASLR()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("1. kernel image KASLR: %#x  correct=%-5v (%.4fs sim)\n",
+			img.Guess, img.Correct, img.Seconds)
+
+		pm, err := sys.BreakPhysmapKASLR(img.Guess)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("2. physmap KASLR:      %#x  correct=%-5v (%.4fs sim)\n",
+			pm.Guess, pm.Correct, pm.Seconds)
+
+		pa, err := sys.FindPhysAddr(img.Guess, pm.Guess)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("3. page phys addr:     %#x  correct=%-5v (%.4fs sim)\n\n",
+			pa.Guess, pa.Correct, pa.Seconds)
+	}
+
+	// Zen 3 lacks the Phantom execute window, so stage 2 must find
+	// nothing — the asymmetry the paper's Table 4 reflects by only
+	// listing Zen 1 and Zen 2.
+	fmt.Println("=== control: AMD Ryzen 5 5600G (Zen 3) ===")
+	sys, err := phantom.NewSystem(phantom.Zen3, phantom.SystemConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := sys.BreakImageKASLR()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. kernel image KASLR: %#x  correct=%v (P1 works on all Zen)\n", img.Guess, img.Correct)
+	pm, err := sys.BreakPhysmapKASLR(img.Guess)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. physmap KASLR:      signal=%v (no transient execution on Zen 3)\n", pm.Guess != 0)
+}

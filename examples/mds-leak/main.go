@@ -1,0 +1,40 @@
+// mds-leak reproduces Section 7.4 end to end on AMD Zen 2: run the full
+// Section 7 derandomization chain, then leak the kernel's planted
+// 4096-byte secret through the Listing 4 MDS gadget — a gadget with only
+// a *single* attacker-indexed load, useless to classic Spectre — by
+// nesting a Phantom window (to the P3 disclosure gadget) inside the
+// Spectre window of the mispredicted bounds check.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"phantom"
+)
+
+func main() {
+	sys, err := phantom.NewSystem(phantom.Zen2, phantom.SystemConfig{Seed: 1337})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	secretVA, truth := sys.SecretAddr()
+	fmt.Printf("Leaking 256 bytes of kernel memory at %#x on %s...\n",
+		secretVA, phantom.Zen2.ModelName())
+
+	res, err := sys.LeakKernelMemory(secretVA, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("accuracy: %.2f%%   rate: %.0f B/s (simulated)\n\n", res.AccuracyPct, res.BytesPerSecond)
+	fmt.Println("leaked  :", hexRow(res.Leaked[:32]))
+	fmt.Println("truth   :", hexRow(truth[:32]))
+	if bytes.Equal(res.Leaked, truth[:len(res.Leaked)]) {
+		fmt.Println("\nThe kernel secret was recovered exactly.")
+	}
+}
+
+func hexRow(b []byte) string { return fmt.Sprintf("% x", b) }

@@ -1,0 +1,3 @@
+module phantom
+
+go 1.22

@@ -1,0 +1,31 @@
+package btb
+
+import (
+	"testing"
+
+	"phantom/internal/isa"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	bt := New(NewZen34Scheme("bench"), 2)
+	bt.Update(0x400000, false, isa.BrJmpInd, 0x500000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Lookup(0x400000, false)
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	bt := New(NewZen34Scheme("bench"), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Lookup(uint64(i)<<12, false)
+	}
+}
+
+func BenchmarkSchemeIndex(b *testing.B) {
+	s := NewZen34Scheme("bench")
+	for i := 0; i < b.N; i++ {
+		s.Index(uint64(i) * 0x1357)
+	}
+}

@@ -1,0 +1,20 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", Sets: 64, Ways: 8, LineSize: 64, HitLatency: 4, Repl: LRU}, nil)
+	c.Access(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkAccessMissEvict(b *testing.B) {
+	c := New(Config{Name: "b", Sets: 64, Ways: 8, LineSize: 64, HitLatency: 4, Repl: LRU}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 4096) // same set, always missing
+	}
+}

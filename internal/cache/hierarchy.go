@@ -1,0 +1,54 @@
+package cache
+
+// Hierarchy composes the two-level cache system of the simulated machines:
+// split L1 (instruction and data) above a unified L2, above DRAM. Lookup
+// latency is the sum of the levels traversed; fills propagate into every
+// level that missed, so a single wrong-path load or instruction fetch
+// leaves a durable, probeable footprint — the essence of the Phantom
+// observation channels.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	// MemLatency is the DRAM access cost in cycles.
+	MemLatency int
+}
+
+// AccessFetch performs an instruction fetch of the line containing pa and
+// returns its latency in cycles.
+func (h *Hierarchy) AccessFetch(pa uint64) int {
+	if hit, _, _ := h.L1I.Access(pa); hit {
+		return h.L1I.cfg.HitLatency
+	}
+	if hit, _, _ := h.L2.Access(pa); hit {
+		return h.L1I.cfg.HitLatency + h.L2.cfg.HitLatency
+	}
+	return h.L1I.cfg.HitLatency + h.L2.cfg.HitLatency + h.MemLatency
+}
+
+// AccessData performs a data access of the line containing pa and returns
+// its latency in cycles.
+func (h *Hierarchy) AccessData(pa uint64) int {
+	if hit, _, _ := h.L1D.Access(pa); hit {
+		return h.L1D.cfg.HitLatency
+	}
+	if hit, _, _ := h.L2.Access(pa); hit {
+		return h.L1D.cfg.HitLatency + h.L2.cfg.HitLatency
+	}
+	return h.L1D.cfg.HitLatency + h.L2.cfg.HitLatency + h.MemLatency
+}
+
+// FlushLine removes the line containing pa from every level (clflush
+// semantics: coherent across I- and D-side).
+func (h *Hierarchy) FlushLine(pa uint64) {
+	h.L1I.Flush(pa)
+	h.L1D.Flush(pa)
+	h.L2.Flush(pa)
+}
+
+// FlushAll empties every level.
+func (h *Hierarchy) FlushAll() {
+	h.L1I.FlushAll()
+	h.L1D.FlushAll()
+	h.L2.FlushAll()
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"phantom/internal/uarch"
+)
+
+// CellStatus distinguishes evaluated matrix cells from the ones the paper
+// excludes or annotates.
+type CellStatus uint8
+
+// Cell statuses.
+const (
+	CellEvaluated CellStatus = iota
+	// CellSymmetric marks training/victim pairs of identical type where no
+	// type confusion exists: (jmp*, jmp*) is classic Spectre-V2 [34],
+	// (ret, ret) ordinary return prediction, (non-branch, non-branch) no
+	// misprediction at all. Direct jmp/jcc pairs stay evaluated because
+	// the paper treats "same type, different displacement" as asymmetric.
+	CellSymmetric
+)
+
+// MatrixCell is one entry of the Table 1 reproduction.
+type MatrixCell struct {
+	Training, Victim BranchKind
+	Status           CellStatus
+	Reach            Reach
+	Note             string
+}
+
+// MatrixResult is a full 5×5 sweep for one microarchitecture.
+type MatrixResult struct {
+	Profile *uarch.Profile
+	Cells   [NumKinds][NumKinds]MatrixCell
+}
+
+// MatrixConfig tunes the Table 1 experiment.
+type MatrixConfig struct {
+	Seed   int64
+	Trials int     // per-cell trials (positive and negative each)
+	Noise  float64 // machine noise level; 0 = deterministic
+}
+
+// symmetricCell reports cells excluded from Phantom evaluation.
+func symmetricCell(train, victim BranchKind) (bool, string) {
+	if train != victim {
+		return false, ""
+	}
+	switch train {
+	case KindJmpInd:
+		return true, "Spectre-V2 [34]"
+	case KindRet:
+		return true, "return prediction"
+	case KindNonBranch:
+		return true, "no misprediction"
+	}
+	return false, "" // jmp/jcc with different displacement: evaluated
+}
+
+// RunMatrix reproduces Table 1 for one profile: every training/victim
+// combination, measured through the IF/ID/EX observation channels.
+func RunMatrix(p *uarch.Profile, cfg MatrixConfig) (*MatrixResult, error) {
+	res := &MatrixResult{Profile: p}
+	for tr := BranchKind(0); tr < NumKinds; tr++ {
+		for vi := BranchKind(0); vi < NumKinds; vi++ {
+			cell := MatrixCell{Training: tr, Victim: vi}
+			if sym, note := symmetricCell(tr, vi); sym {
+				cell.Status = CellSymmetric
+				cell.Note = note
+			} else {
+				reach, err := RunCombo(p, cfg.Seed+int64(tr)*31+int64(vi), tr, vi, cfg.Trials, cfg.Noise)
+				if err != nil {
+					return nil, fmt.Errorf("cell (%v, %v): %w", tr, vi, err)
+				}
+				cell.Reach = reach
+				switch {
+				case tr == KindJmpInd && vi == KindRet:
+					cell.Note = "Retbleed [73]"
+				case tr == KindNonBranch && vi == KindRet:
+					cell.Note = "Spectre-SLS [70, 6]"
+				}
+			}
+			res.Cells[tr][vi] = cell
+		}
+	}
+	return res, nil
+}
+
+// Observations derives the paper's headline observations O1-O3 from a set
+// of matrix results, the same way Section 6 reads Table 1.
+type Observations struct {
+	// O1: speculative branch targets are fetched before the branch source
+	// is decoded, on every profile.
+	O1AllFetch bool
+	// O2: the fetches enter the pipeline (decode), on every profile (the
+	// jmp*-victim Intel anomaly excepted, as in the paper).
+	O2AllDecode bool
+	// O3: decoder-detectable speculation reaches execute — and the
+	// profiles on which it does.
+	O3ExecuteProfiles []string
+}
+
+// DeriveObservations summarizes matrix results across profiles.
+func DeriveObservations(results []*MatrixResult) Observations {
+	obs := Observations{O1AllFetch: true, O2AllDecode: true}
+	for _, r := range results {
+		anyFetch, anyDecode, anyExec := false, false, false
+		for tr := BranchKind(0); tr < NumKinds; tr++ {
+			for vi := BranchKind(0); vi < NumKinds; vi++ {
+				c := r.Cells[tr][vi]
+				if c.Status != CellEvaluated || tr == KindNonBranch {
+					continue
+				}
+				anyFetch = anyFetch || c.Reach.IF
+				anyDecode = anyDecode || c.Reach.ID
+				anyExec = anyExec || c.Reach.EX
+			}
+		}
+		obs.O1AllFetch = obs.O1AllFetch && anyFetch
+		obs.O2AllDecode = obs.O2AllDecode && anyDecode
+		if anyExec {
+			obs.O3ExecuteProfiles = append(obs.O3ExecuteProfiles, r.Profile.Name)
+		}
+	}
+	return obs
+}
+
+// String renders the matrix in the layout of Table 1.
+func (r *MatrixResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — %s: stage reached per training (rows) x victim (cols)\n", r.Profile)
+	fmt.Fprintf(&b, "%-12s", "")
+	for vi := BranchKind(0); vi < NumKinds; vi++ {
+		fmt.Fprintf(&b, "%-12s", vi)
+	}
+	b.WriteString("\n")
+	for tr := BranchKind(0); tr < NumKinds; tr++ {
+		fmt.Fprintf(&b, "%-12s", tr)
+		for vi := BranchKind(0); vi < NumKinds; vi++ {
+			c := r.Cells[tr][vi]
+			cell := c.Reach.String()
+			if c.Status == CellSymmetric {
+				cell = "(sym)"
+			}
+			fmt.Fprintf(&b, "%-12s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,23 @@
+package core
+
+import "phantom/internal/stats"
+
+// ScoreBounded implements the Section 7.3 scoring function: the bounded
+// relative timing difference between the primed-set probe times and their
+// baselines, accumulated over the monitored sets:
+//
+//	score_guess = Σ_S min(max(T_S − B_S, −bound), bound)
+//
+// Clamping keeps one outlier set (system-call thrash, replacement noise,
+// prefetching) from dominating the vote.
+func ScoreBounded(probeTimes, baselines []float64, bound float64) float64 {
+	n := len(probeTimes)
+	if len(baselines) < n {
+		n = len(baselines)
+	}
+	var score float64
+	for i := 0; i < n; i++ {
+		score += stats.Clamp(probeTimes[i]-baselines[i], -bound, bound)
+	}
+	return score
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"phantom/internal/kernel"
+	"phantom/internal/uarch"
+)
+
+func TestP1DistinguishesMappedFromUnmapped(t *testing.T) {
+	k := bootZen2(t, 21, 1) // calibrated noise: primitives must still work
+	p, err := NewPrimitives(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := k.Symbol("covert_branch_site")
+	const set = 33
+	pp, err := NewIPrimeProbe(k, 0x7f1000000000, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke := func() error { return p.A.Syscall(kernel.SysCovertBranch, 0, 0) }
+
+	mapped := k.ImageBase + 0x3000 + uint64(set)<<6
+	unmapped := kernel.KernelRegionBase - 0x40000000 + uint64(set)<<6
+
+	hits, misses := 0, 0
+	for i := 0; i < 8; i++ {
+		got, err := p.P1DetectExecutable(victim, mapped, pp, invoke)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			hits++
+		}
+		got, err = p.P1DetectExecutable(victim, unmapped, pp, invoke)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			misses++
+		}
+	}
+	if hits < 6 {
+		t.Errorf("P1 detected the mapped target only %d/8 times", hits)
+	}
+	if misses > 2 {
+		t.Errorf("P1 false-positived on the unmapped target %d/8 times", misses)
+	}
+}
+
+func TestP1DetectsNXAsUnmapped(t *testing.T) {
+	// The P1/P2 distinction: physmap is mapped but NX, so P1 sees nothing.
+	k := bootZen2(t, 22, 0)
+	p, err := NewPrimitives(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := k.Symbol("covert_branch_site")
+	nxTarget := k.PhysmapVA(0x40000000) | (33 << 6)
+	pp, err := NewIPrimeProbe(k, 0x7f1000000000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke := func() error { return p.A.Syscall(kernel.SysCovertBranch, 0, 0) }
+	got, err := p.P1DetectExecutable(victim, nxTarget, pp, invoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("P1 signalled on a mapped but non-executable target")
+	}
+}
+
+func TestP2DistinguishesMappedFromUnmapped(t *testing.T) {
+	k := bootZen2(t, 23, 1)
+	p, err := NewPrimitives(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := k.Symbol("covert_branch_site")
+	gadget := k.Symbol("covert_exec_gadget") // loads [r13]; r13 <- rsi
+
+	probePA := uint64(0x40000000) | 0x840
+	hugeVA := uint64(0x7f2000000000)
+	if _, err := k.AllocUserHuge(hugeVA); err != nil {
+		t.Fatal(err)
+	}
+	pp := NewDPrimeProbe(k.M, hugeVA, probePA)
+	invoke := func(addr uint64) error {
+		return p.A.Syscall(kernel.SysCovertBranch, 0, addr)
+	}
+
+	mapped := k.PhysmapVA(probePA)
+	unmapped := kernel.PhysmapRegionBase - 0x2000 + 0x840
+
+	hits, misses := 0, 0
+	for i := 0; i < 8; i++ {
+		got, err := p.P2DetectMapped(victim, gadget, pp, invoke, mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			hits++
+		}
+		got, err = p.P2DetectMapped(victim, gadget, pp, invoke, unmapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			misses++
+		}
+	}
+	if hits < 6 {
+		t.Errorf("P2 detected mapped memory only %d/8 times", hits)
+	}
+	if misses > 2 {
+		t.Errorf("P2 false-positived %d/8 times", misses)
+	}
+}
+
+func TestP2DeadWithoutExecuteWindow(t *testing.T) {
+	k, err := kernel.Boot(uarch.Zen3(), kernel.Config{Seed: 24, NoiseLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPrimitives(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := k.Symbol("covert_branch_site")
+	gadget := k.Symbol("covert_exec_gadget")
+	probePA := uint64(0x40000000) | 0x840
+	hugeVA := uint64(0x7f2000000000)
+	if _, err := k.AllocUserHuge(hugeVA); err != nil {
+		t.Fatal(err)
+	}
+	pp := NewDPrimeProbe(k.M, hugeVA, probePA)
+	invoke := func(addr uint64) error {
+		return p.A.Syscall(kernel.SysCovertBranch, 0, addr)
+	}
+	got, err := p.P2DetectMapped(victim, gadget, pp, invoke, k.PhysmapVA(probePA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("P2 signalled on Zen3, which has no Phantom execute window")
+	}
+}
+
+func TestP3LeaksRegisterByte(t *testing.T) {
+	// Leak the low byte of the register the MDS module copies RSI into,
+	// via the P3 disclosure gadget. (The full MDS exploit composes this
+	// with a Spectre window; here the register value is architectural.)
+	k := bootZen2(t, 25, 0)
+	p, err := NewPrimitives(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hugeVA := uint64(0x7f3000000000)
+	pa, err := k.AllocUserHuge(hugeVA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloadKVA := k.PhysmapVA(pa)
+
+	// Victim: the covert module's direct branch, with R13 <- RSI. The
+	// "register to leak" here is R9, which the MDS disclosure gadget
+	// reads; use the MDS module instead: it loads R9 = array[idx]
+	// architecturally for in-bounds idx.
+	victim := k.Symbol("mds_call_site")
+	gadget := k.Symbol("mds_disclosure")
+	secretIdx := uint64(0x37) // array[0x37] = 0x37 (boot pattern), next bytes 0x38..
+	invoke := func() error {
+		return p.A.Syscall(kernel.SysMDSRead, secretIdx, reloadKVA)
+	}
+
+	got, ok, err := p.P3LeakByte(victim, gadget, hugeVA, invoke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("P3 saw no signal")
+	}
+	// array[idx] is loaded as a 64-bit little-endian word; its low byte
+	// is the array byte at idx.
+	want, err := k.M.KernelAS.Read8(k.ArrayBase() + secretIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("P3 leaked %#x, want %#x", got, want)
+	}
+}

@@ -1,0 +1,269 @@
+// Package gf2 implements linear algebra over GF(2) on 64-bit row vectors.
+//
+// The paper recovers the cross-privilege BTB index functions of AMD Zen 3/4
+// with a Z3 SMT solver (Section 6.2): each function is an XOR of virtual
+// address bits, i.e. a linear form over GF(2). Two addresses K and U collide
+// in a linear hash exactly when every form f satisfies f(K) = f(U), i.e.
+// f(K XOR U) = 0. Given a set of observed collision difference vectors
+// d_i = K_i XOR U_i, the candidate index functions are precisely the linear
+// forms orthogonal to span{d_i}. That is plain nullspace computation — no SMT
+// search is required — so this package provides Gaussian elimination, rank,
+// nullspace bases, and low-weight codeword enumeration (the paper's
+// "at most n coefficients" constraint).
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a vector over GF(2) with up to 64 coordinates, bit i of the word
+// being coordinate i.
+type Vec uint64
+
+// Dot returns the GF(2) inner product of two vectors: parity of the
+// popcount of their AND.
+func (v Vec) Dot(w Vec) uint {
+	return uint(bits.OnesCount64(uint64(v&w)) & 1)
+}
+
+// Weight returns the Hamming weight of v.
+func (v Vec) Weight() int { return bits.OnesCount64(uint64(v)) }
+
+// Bits returns the indices of set coordinates in descending order,
+// matching how the paper writes its functions (b47 first).
+func (v Vec) Bits() []int {
+	var out []int
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String formats v as an XOR of address bits, e.g. "b47 ⊕ b35 ⊕ b23".
+func (v Vec) String() string {
+	bs := v.Bits()
+	if len(bs) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(bs))
+	for i, b := range bs {
+		parts[i] = fmt.Sprintf("b%d", b)
+	}
+	return strings.Join(parts, " ⊕ ")
+}
+
+// Matrix is a list of row vectors over GF(2).
+type Matrix struct {
+	Rows []Vec
+	// Cols is the number of meaningful coordinates (<= 64). Operations such
+	// as Nullspace enumerate free variables only below this bound.
+	Cols int
+}
+
+// NewMatrix returns an empty matrix with the given number of columns.
+// Cols must be in (0, 64].
+func NewMatrix(cols int) *Matrix {
+	if cols <= 0 || cols > 64 {
+		panic(fmt.Sprintf("gf2: invalid column count %d", cols))
+	}
+	return &Matrix{Cols: cols}
+}
+
+// AddRow appends a row. Bits at or above Cols are masked off.
+func (m *Matrix) AddRow(v Vec) {
+	mask := Vec(1)<<uint(m.Cols) - 1
+	if m.Cols == 64 {
+		mask = ^Vec(0)
+	}
+	m.Rows = append(m.Rows, v&mask)
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Cols: m.Cols}
+	c.Rows = append([]Vec(nil), m.Rows...)
+	return c
+}
+
+// RowReduce brings the matrix to reduced row-echelon form in place and
+// returns the rank and, for each pivot, its column index (descending bit
+// significance: column Cols-1 is eliminated first so that recovered forms
+// keep their high bits, matching the b47-first presentation in the paper).
+func (m *Matrix) RowReduce() (rank int, pivots []int) {
+	r := 0
+	for col := m.Cols - 1; col >= 0 && r < len(m.Rows); col-- {
+		bit := Vec(1) << uint(col)
+		// Find a pivot row.
+		sel := -1
+		for i := r; i < len(m.Rows); i++ {
+			if m.Rows[i]&bit != 0 {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m.Rows[r], m.Rows[sel] = m.Rows[sel], m.Rows[r]
+		for i := 0; i < len(m.Rows); i++ {
+			if i != r && m.Rows[i]&bit != 0 {
+				m.Rows[i] ^= m.Rows[r]
+			}
+		}
+		pivots = append(pivots, col)
+		r++
+	}
+	// Drop all-zero rows that sank to the bottom.
+	m.Rows = m.Rows[:r]
+	return r, pivots
+}
+
+// Rank returns the rank of the matrix without modifying it.
+func (m *Matrix) Rank() int {
+	c := m.Clone()
+	r, _ := c.RowReduce()
+	return r
+}
+
+// Nullspace returns a basis of {x : row·x = 0 for every row}, i.e. the
+// orthogonal complement of the row space within GF(2)^Cols.
+func (m *Matrix) Nullspace() []Vec {
+	c := m.Clone()
+	_, pivots := c.RowReduce()
+	isPivot := make(map[int]bool, len(pivots))
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis []Vec
+	for col := m.Cols - 1; col >= 0; col-- {
+		if isPivot[col] {
+			continue
+		}
+		// Free variable: set x[col] = 1, solve for pivot variables.
+		v := Vec(1) << uint(col)
+		for i, p := range pivots {
+			if c.Rows[i]&(Vec(1)<<uint(col)) != 0 {
+				v |= Vec(1) << uint(p)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+// InSpan reports whether v lies in the row span of the matrix.
+func (m *Matrix) InSpan(v Vec) bool {
+	c := m.Clone()
+	r0, _ := c.RowReduce()
+	c.AddRow(v)
+	r1, _ := c.RowReduce()
+	return r1 == r0
+}
+
+// LowWeightForms enumerates all nonzero vectors in the span of basis whose
+// Hamming weight is at most maxWeight, in increasing weight order (ties in
+// descending numeric order, so forms involving higher address bits come
+// first). This reproduces the paper's constraint "x0+x1+...+x47 <= n" used
+// to keep the SMT solutions from combining independent functions.
+//
+// The enumeration walks all 2^len(basis)-1 combinations; callers keep the
+// basis small (the BTB recovery yields ~a dozen basis vectors).
+func LowWeightForms(basis []Vec, maxWeight int) []Vec {
+	if len(basis) > 26 {
+		panic(fmt.Sprintf("gf2: basis too large to enumerate (%d)", len(basis)))
+	}
+	seen := make(map[Vec]bool)
+	var out []Vec
+	for comb := uint64(1); comb < 1<<uint(len(basis)); comb++ {
+		var v Vec
+		for i := 0; i < len(basis); i++ {
+			if comb&(1<<uint(i)) != 0 {
+				v ^= basis[i]
+			}
+		}
+		if v == 0 || seen[v] || v.Weight() > maxWeight {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	sortForms(out)
+	return out
+}
+
+// sortForms orders forms by weight, then by descending numeric value.
+func sortForms(fs []Vec) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && less(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func less(a, b Vec) bool {
+	if a.Weight() != b.Weight() {
+		return a.Weight() < b.Weight()
+	}
+	return a > b
+}
+
+// Solve finds one solution x of the system rows·x = rhs over GF(2), where
+// rhs bit i corresponds to m.Rows[i]. It returns ok=false when the system is
+// inconsistent. Columns beyond Cols are ignored.
+func (m *Matrix) Solve(rhs Vec) (x Vec, ok bool) {
+	if len(m.Rows) > 64 {
+		panic("gf2: Solve supports at most 64 rows")
+	}
+	// Augmented elimination: track RHS alongside.
+	rows := append([]Vec(nil), m.Rows...)
+	aug := make([]uint, len(rows))
+	for i := range rows {
+		aug[i] = uint(rhs>>uint(i)) & 1
+	}
+	r := 0
+	var pivots []int
+	for col := m.Cols - 1; col >= 0 && r < len(rows); col-- {
+		bit := Vec(1) << uint(col)
+		sel := -1
+		for i := r; i < len(rows); i++ {
+			if rows[i]&bit != 0 {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		rows[r], rows[sel] = rows[sel], rows[r]
+		aug[r], aug[sel] = aug[sel], aug[r]
+		for i := 0; i < len(rows); i++ {
+			if i != r && rows[i]&bit != 0 {
+				rows[i] ^= rows[r]
+				aug[i] ^= aug[r]
+			}
+		}
+		pivots = append(pivots, col)
+		r++
+	}
+	for i := r; i < len(rows); i++ {
+		if aug[i] != 0 {
+			return 0, false // 0 = 1: inconsistent
+		}
+	}
+	for i, p := range pivots {
+		if aug[i] != 0 {
+			x |= Vec(1) << uint(p)
+		}
+	}
+	// Verify (free variables are zero; pivot rows may reference them).
+	for i, row := range m.Rows {
+		if row.Dot(x) != uint(rhs>>uint(i))&1 {
+			return 0, false
+		}
+	}
+	return x, true
+}

@@ -1,0 +1,157 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecDotAndWeight(t *testing.T) {
+	a := Vec(0b1011)
+	b := Vec(0b0011)
+	if a.Dot(b) != 0 { // overlap 0b0011: two bits -> even parity
+		t.Errorf("Dot = %d", a.Dot(b))
+	}
+	if a.Dot(Vec(0b1000)) != 1 {
+		t.Errorf("Dot single = %d", a.Dot(Vec(0b1000)))
+	}
+	if a.Weight() != 3 {
+		t.Errorf("Weight = %d", a.Weight())
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := Vec(1<<47 | 1<<35 | 1<<23)
+	if got := v.String(); got != "b47 ⊕ b35 ⊕ b23" {
+		t.Errorf("String = %q", got)
+	}
+	if Vec(0).String() != "0" {
+		t.Errorf("zero String = %q", Vec(0).String())
+	}
+}
+
+func TestRowReduceRank(t *testing.T) {
+	m := NewMatrix(8)
+	m.AddRow(0b00000011)
+	m.AddRow(0b00000110)
+	m.AddRow(0b00000101) // = row0 ^ row1
+	if r := m.Rank(); r != 2 {
+		t.Errorf("Rank = %d, want 2", r)
+	}
+}
+
+func TestNullspaceOrthogonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		cols := 8 + rng.Intn(40)
+		m := NewMatrix(cols)
+		nrows := 1 + rng.Intn(cols)
+		for i := 0; i < nrows; i++ {
+			m.AddRow(Vec(rng.Uint64()))
+		}
+		rank := m.Rank()
+		null := m.Nullspace()
+		if rank+len(null) != cols {
+			t.Fatalf("rank %d + nullity %d != cols %d", rank, len(null), cols)
+		}
+		for _, v := range null {
+			for _, row := range m.Rows {
+				if row.Dot(v) != 0 {
+					t.Fatalf("nullspace vector %v not orthogonal to row %v", v, row)
+				}
+			}
+		}
+	}
+}
+
+func TestInSpan(t *testing.T) {
+	m := NewMatrix(16)
+	m.AddRow(0b0011)
+	m.AddRow(0b0110)
+	if !m.InSpan(0b0101) {
+		t.Error("xor of rows not in span")
+	}
+	if m.InSpan(0b1000) {
+		t.Error("independent vector reported in span")
+	}
+	if !m.InSpan(0) {
+		t.Error("zero vector must be in span")
+	}
+}
+
+func TestLowWeightFormsFindsPlantedForms(t *testing.T) {
+	// Plant a known set of low-weight forms, take random combinations as
+	// a basis, and check enumeration recovers the planted ones.
+	planted := []Vec{
+		1<<47 | 1<<35 | 1<<23,
+		1<<47 | 1<<36 | 1<<24 | 1<<12,
+		1<<12 | 1<<16,
+	}
+	rng := rand.New(rand.NewSource(5))
+	basis := append([]Vec(nil), planted...)
+	for i := 0; i < 3; i++ {
+		// Add combinations to scramble the basis.
+		basis = append(basis, planted[rng.Intn(3)]^planted[rng.Intn(3)])
+	}
+	forms := LowWeightForms(basis, 4)
+	found := make(map[Vec]bool)
+	for _, f := range forms {
+		found[f] = true
+	}
+	for _, p := range planted {
+		if !found[p] {
+			t.Errorf("planted form %v not recovered", p)
+		}
+	}
+	// Weight ordering.
+	for i := 1; i < len(forms); i++ {
+		if forms[i].Weight() < forms[i-1].Weight() {
+			t.Fatalf("forms not weight-ordered at %d", i)
+		}
+	}
+}
+
+func TestSolveConsistentSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		cols := 4 + rng.Intn(30)
+		m := NewMatrix(cols)
+		nrows := 1 + rng.Intn(20)
+		secret := Vec(rng.Uint64()) & (Vec(1)<<uint(cols) - 1)
+		var rhs Vec
+		for i := 0; i < nrows; i++ {
+			row := Vec(rng.Uint64()) & (Vec(1)<<uint(cols) - 1)
+			m.AddRow(row)
+			rhs |= Vec(row.Dot(secret)) << uint(i)
+		}
+		x, ok := m.Solve(rhs)
+		if !ok {
+			t.Fatalf("consistent system reported inconsistent (trial %d)", trial)
+		}
+		for i, row := range m.Rows {
+			if row.Dot(x) != uint(rhs>>uint(i))&1 {
+				t.Fatalf("solution does not satisfy row %d", i)
+			}
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	m := NewMatrix(8)
+	m.AddRow(0b0011)
+	m.AddRow(0b0011)
+	// Same row, different RHS bits: inconsistent.
+	if _, ok := m.Solve(0b01); ok {
+		t.Fatal("inconsistent system solved")
+	}
+}
+
+func TestDotProperty(t *testing.T) {
+	// Dot is bilinear: (a^b)·c == a·c ^ b·c.
+	f := func(a, b, c uint64) bool {
+		return Vec(a^b).Dot(Vec(c)) == Vec(a).Dot(Vec(c))^Vec(b).Dot(Vec(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package isa
+
+import "testing"
+
+func BenchmarkDecode(b *testing.B) {
+	blob := EncLoad(RAX, R12, 0xbe0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decode(blob)
+	}
+}
+
+func BenchmarkDecodeNop(b *testing.B) {
+	blob := EncNop(5)
+	for i := 0; i < b.N; i++ {
+		Decode(blob)
+	}
+}
+
+func BenchmarkAssembleText(b *testing.B) {
+	src := "loop: mov rax, [rsi+8]; add rax, 1; mov [rsi+8], rax; cmp rax, 100; jb loop; hlt"
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Assemble(src, 0x400000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

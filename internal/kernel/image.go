@@ -1,0 +1,153 @@
+package kernel
+
+import "phantom/internal/isa"
+
+// buildImage assembles the kernel text at the given base. The returned
+// assembler carries the symbol table; callers read labels like
+// "getpid_site" and "fdget_call_site" from it.
+//
+// The image reproduces, at the paper's published offsets, the exact gadget
+// shapes of Listings 1-4:
+//
+//	Listing 1 (offset 0xf6520):  nop DWORD PTR [rax+rax*1+0x0]
+//	                             push rbp
+//	                             mov rbp, rsp
+//	Listing 2 (offset 0x41db60): nop DWORD PTR [rax+rax*1+0x0]
+//	                             push rbp
+//	                             mov esi, 0x4000
+//	                             mov rbp, rsp
+//	                             sub rsp, 0x8
+//	                             call <helper>
+//	Listing 3 (offset 0x41da52): mov r12, QWORD PTR [r12+0xbe0]
+//	Listing 4 (module):          bounds check + single out-of-bounds load
+//	                             + call parse_data
+func buildImage(base uint64) *isa.Assembler {
+	a := isa.NewAssembler(base)
+	dataBase := base + ImageTextSize
+
+	// --- Syscall entry / dispatcher -----------------------------------
+	a.Label("entry")
+	a.MovReg(isa.R15, isa.RSP) // save user stack
+	a.MovImm(isa.RSP, dataBase+dataKStackTopOff)
+	a.AluImm(isa.AluCmp, isa.RAX, SysReadv)
+	a.Jcc(isa.CondZ, "readv")
+	a.AluImm(isa.AluCmp, isa.RAX, SysGetpid)
+	a.Jcc(isa.CondZ, "getpid_site")
+	a.AluImm(isa.AluCmp, isa.RAX, SysMDSRead)
+	a.Jcc(isa.CondZ, "mds")
+	a.AluImm(isa.AluCmp, isa.RAX, SysCovertBranch)
+	a.Jcc(isa.CondZ, "covert")
+	// SysNop and unknown numbers fall straight through to the exit.
+	a.Label("exit")
+	a.MovReg(isa.RSP, isa.R15) // restore user stack
+	a.Syscall()                // kernel-mode syscall = sysret
+
+	// --- getpid: __task_pid_nr_ns() entry, Listing 1 ------------------
+	a.Org(base + GetpidSiteOff)
+	a.Label("getpid_site")
+	a.Nop(5) // <- the victim instruction the paper injects at
+	a.Push(isa.RBP)
+	a.MovReg(isa.RBP, isa.RSP)
+	a.MovImm(isa.R10, dataBase+dataPidOff)
+	a.Load(isa.RAX, isa.R10, 0)
+	a.Pop(isa.RBP)
+	a.Label("getpid_exit_jmp") // second injection point for §7.3 amplification
+	a.Jmp("exit")
+
+	// --- readv: controls R12 from RSI, then calls __fdget_pos ---------
+	a.Org(base + 0x180000)
+	a.Label("readv")
+	a.MovReg(isa.R12, isa.RSI) // paper: "we control the value of R12
+	a.Call("fdget_pos")        //  using the second argument (RSI)"
+	a.Jmp("exit")
+
+	// --- Listing 4: the MDS-gadget kernel module ------------------------
+	// read_data(user_index=RDI, reload_kva=RSI). The architectural bound
+	// is ArrayLen; a mispredicted-taken bounds check performs a single
+	// attacker-indexed load — an MDS gadget, not a classic Spectre gadget,
+	// because no second (data-dependent) load follows architecturally.
+	a.Org(base + MDSModuleOff)
+	a.Label("mds")
+	a.MovReg(isa.R14, isa.RSI) // reload buffer kernel VA
+	a.MovImm(isa.R10, dataBase+dataArrayLenOff)
+	a.Load(isa.RAX, isa.R10, 0) // rax = *array_length
+	a.CmpReg(isa.RDI, isa.RAX)  // CF = user_index < length
+	a.Jcc(isa.CondAE, "mds_out")
+	a.MovImm(isa.R10, dataBase+dataArrayOff)
+	a.AddReg(isa.R10, isa.RDI)
+	a.Load(isa.R9, isa.R10, 0) // data = array[user_index]
+	a.Label("mds_call_site")   // <- victim call (paper trains jmp* here)
+	a.Call("parse_data")
+	a.Label("mds_out")
+	a.Jmp("exit")
+	a.Label("parse_data")
+	a.Ret()
+
+	// --- P3 disclosure gadget for the MDS exploit ----------------------
+	// Leaks the byte in R9: "G filters out a single byte from the
+	// register and arranges it to reside in bits [13:6] (i.e., cache-line
+	// aligned), which it uses as offset into a mapped area"
+	// (Section 6.1, P3).
+	a.Org(base + MDSDisclosureOff)
+	a.Label("mds_disclosure")
+	a.AluImm(isa.AluAnd, isa.R9, 0xff)
+	a.Shl(isa.R9, 6)
+	a.AddReg(isa.R9, isa.R14)
+	a.Load(isa.R8, isa.R9, 0)
+	a.Ret()
+
+	// --- Section 6.4 covert-channel module -----------------------------
+	// "A kernel module that performs a number of direct branches. We aim
+	// to hijack one of these by injecting a prediction from user mode."
+	// RSI is copied to R13 so the execute variant's gadget can load an
+	// attacker-chosen address.
+	a.Org(base + CovertModuleOff)
+	a.Label("covert")
+	a.MovReg(isa.R13, isa.RSI)
+	a.NopSled(16)
+	a.Label("covert_branch_site") // <- the hijacked direct branch
+	a.Jmp("covert_next")
+	a.Label("covert_next")
+	a.NopSled(8)
+	a.Jmp("exit")
+
+	// Executable kernel gadget for the execute covert channel: "an
+	// additional address T is mapped executable in kernel mode,
+	// containing a memory load of the address in register R".
+	a.Org(base + CovertModuleOff + 0x8000)
+	a.Label("covert_exec_gadget")
+	a.Load(isa.RAX, isa.R13, 0)
+	a.Ret()
+
+	// --- Probe module for BTB collision discovery -----------------------
+	// Section 6.2: "allocating a kernel address K, using a kernel module
+	// which contains nops followed by a return instruction."
+	a.Org(base + KModuleProbeOff)
+	a.Label("kmodule_probe")
+	a.NopSled(16)
+	a.Ret()
+
+	// --- Listing 3: the physmap disclosure gadget ----------------------
+	a.Org(base + DisclosureGadgetOff)
+	a.Label("disclosure_gadget")
+	a.Load(isa.R12, isa.R12, 0xbe0)
+	a.Ret()
+
+	// --- Listing 2: __fdget_pos() --------------------------------------
+	a.Org(base + FdgetPosOff)
+	a.Label("fdget_pos")
+	a.Nop(5)
+	a.Push(isa.RBP)
+	a.MovImm(isa.RSI, 0x4000)
+	a.MovReg(isa.RBP, isa.RSP)
+	a.AluImm(isa.AluSub, isa.RSP, 8)
+	a.Label("fdget_call_site") // <- the victim call the paper confuses
+	a.Call("fdget_helper")
+	a.AluImm(isa.AluAdd, isa.RSP, 8)
+	a.Pop(isa.RBP)
+	a.Ret()
+	a.Label("fdget_helper")
+	a.Ret()
+
+	return a
+}

@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"testing"
+
+	"phantom/internal/uarch"
+)
+
+func TestWorkloadsRunToCompletion(t *testing.T) {
+	k, err := Boot(uarch.Zen2(), Config{Seed: 1, NoiseLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := k.InstallWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) < 6 {
+		t.Fatalf("only %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		c, err := k.RunWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if c == 0 {
+			t.Fatalf("%s: zero cycles", w.Name)
+		}
+	}
+	for _, want := range []string{"arith", "memcopy", "branchy", "callret", "syscall", "bigcode"} {
+		if !seen[want] {
+			t.Errorf("workload %q missing", want)
+		}
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		k, err := Boot(uarch.Zen2(), Config{Seed: 9, NoiseLevel: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := k.InstallWorkloads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for _, w := range ws {
+			c, err := k.RunWorkload(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorkloadWarmupSpeedsUp(t *testing.T) {
+	k, err := Boot(uarch.Zen2(), Config{Seed: 2, NoiseLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := k.InstallWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Name != "memcopy" {
+			continue
+		}
+		cold, err := k.RunWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := k.RunWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm >= cold {
+			t.Fatalf("caches did not warm: cold=%d warm=%d", cold, warm)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FrameAllocator hands out physical frames. It can allocate sequentially
+// (kernel boot allocations) or at randomized physical addresses (user
+// anonymous memory), which is what makes the paper's Table 5 experiment —
+// guessing the physical address of a user page through physmap — a search
+// problem rather than a lookup.
+type FrameAllocator struct {
+	phys *PhysMem
+	next uint64
+	rng  *rand.Rand
+	used map[uint64]bool // allocated frame numbers
+}
+
+// NewFrameAllocator returns an allocator over pm. Sequential allocations
+// start at base. rng drives randomized placement; it must not be nil.
+func NewFrameAllocator(pm *PhysMem, base uint64, rng *rand.Rand) *FrameAllocator {
+	return &FrameAllocator{phys: pm, next: base, rng: rng, used: make(map[uint64]bool)}
+}
+
+// AllocSeq allocates length bytes of physically contiguous frames at the
+// next sequential address and returns the base physical address.
+func (fa *FrameAllocator) AllocSeq(length uint64) uint64 {
+	length = (length + PageSize - 1) &^ (PageSize - 1)
+	base := fa.next
+	for off := uint64(0); off < length; off += PageSize {
+		fa.used[(base+off)>>PageShift] = true
+	}
+	fa.next = base + length
+	return base
+}
+
+// AllocRandomHuge allocates one physically contiguous, 2 MiB-aligned huge
+// frame at a random physical address below the advertised memory size,
+// modeling a transparent huge page whose physical placement the attacker
+// does not know. It returns an error if it cannot find a free slot.
+func (fa *FrameAllocator) AllocRandomHuge() (uint64, error) {
+	slots := fa.phys.Size() / HugePageSize
+	if slots == 0 {
+		return 0, fmt.Errorf("mem: physical memory smaller than a huge page")
+	}
+	for attempt := 0; attempt < 4096; attempt++ {
+		slot := uint64(fa.rng.Int63n(int64(slots)))
+		base := slot * HugePageSize
+		if fa.rangeFree(base, HugePageSize) {
+			fa.markUsed(base, HugePageSize)
+			return base, nil
+		}
+	}
+	return 0, fmt.Errorf("mem: no free huge frame found")
+}
+
+func (fa *FrameAllocator) rangeFree(base, length uint64) bool {
+	for off := uint64(0); off < length; off += PageSize {
+		if fa.used[(base+off)>>PageShift] {
+			return false
+		}
+	}
+	return true
+}
+
+func (fa *FrameAllocator) markUsed(base, length uint64) {
+	for off := uint64(0); off < length; off += PageSize {
+		fa.used[(base+off)>>PageShift] = true
+	}
+}
+
+// Reserve marks [base, base+length) as allocated without returning it, used
+// to model memory grabbed by firmware/other processes so that the physical
+// address space is realistically fragmented.
+func (fa *FrameAllocator) Reserve(base, length uint64) {
+	fa.markUsed(base, length)
+}

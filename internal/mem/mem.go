@@ -1,0 +1,329 @@
+// Package mem models physical memory and per-process virtual address
+// spaces: sparse physical frames, page table entries with the x86
+// permission bits the Phantom exploits depend on (present, user, writable,
+// no-execute), 4 KiB and 2 MiB pages, and a small TLB model for
+// translation timing.
+//
+// The exploits probe exactly these properties: P1 detects *mapped
+// executable* kernel memory (instruction fetch only fills the I-cache when
+// the target is present and executable), P2 detects *mapped non-executable*
+// memory (physmap is mapped NX), and breaking KASLR means locating where in
+// the huge kernel virtual regions the present pages actually are.
+package mem
+
+import "fmt"
+
+// Page geometry.
+const (
+	PageShift     = 12
+	PageSize      = 1 << PageShift // 4 KiB
+	HugePageShift = 21
+	HugePageSize  = 1 << HugePageShift // 2 MiB
+)
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead  Perm = 1 << iota // page is readable (present implies readable here)
+	PermWrite                  // page is writable
+	PermExec                   // page is executable (NX clear)
+	PermUser                   // page is accessible from user mode (CPL3)
+)
+
+func (p Perm) String() string {
+	b := []byte("r---")
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	if p&PermUser != 0 {
+		b[3] = 'u'
+	}
+	if p&PermRead == 0 {
+		b[0] = '-'
+	}
+	return string(b)
+}
+
+// AccessKind distinguishes the intent of a memory access for fault checks.
+type AccessKind uint8
+
+// Access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+	AccessFetch
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessFetch:
+		return "fetch"
+	}
+	return "access?"
+}
+
+// Fault describes a page fault. It implements error.
+type Fault struct {
+	VA   uint64
+	Kind AccessKind
+	// NotPresent is true when no translation exists; false means a
+	// permission violation (NX fetch, user access to supervisor page,
+	// write to read-only page).
+	NotPresent bool
+}
+
+func (f *Fault) Error() string {
+	why := "permission"
+	if f.NotPresent {
+		why = "not-present"
+	}
+	return fmt.Sprintf("page fault: %s of %#x (%s)", f.Kind, f.VA, why)
+}
+
+// PTE is a page table entry: a physical frame base plus permissions.
+type PTE struct {
+	PA   uint64 // physical base of the page (aligned to the page size)
+	Perm Perm
+	Huge bool // 2 MiB mapping
+}
+
+// PhysMem is sparse physical memory, allocated in 4 KiB frames on first
+// touch. The zero value is not usable; call NewPhysMem.
+type PhysMem struct {
+	frames map[uint64][]byte // keyed by PA >> PageShift
+	size   uint64            // advertised physical memory size (for physmap experiments)
+}
+
+// NewPhysMem returns physical memory advertising the given size in bytes
+// (the size bounds the physical-address search space in the Table 5
+// experiment; frames are still allocated lazily).
+func NewPhysMem(size uint64) *PhysMem {
+	return &PhysMem{frames: make(map[uint64][]byte), size: size}
+}
+
+// Size returns the advertised physical memory size in bytes.
+func (pm *PhysMem) Size() uint64 { return pm.size }
+
+func (pm *PhysMem) frame(pa uint64) []byte {
+	key := pa >> PageShift
+	f := pm.frames[key]
+	if f == nil {
+		f = make([]byte, PageSize)
+		pm.frames[key] = f
+	}
+	return f
+}
+
+// Read8 reads one byte of physical memory.
+func (pm *PhysMem) Read8(pa uint64) byte {
+	return pm.frame(pa)[pa&(PageSize-1)]
+}
+
+// Write8 writes one byte of physical memory.
+func (pm *PhysMem) Write8(pa uint64, v byte) {
+	pm.frame(pa)[pa&(PageSize-1)] = v
+}
+
+// Read64 reads a little-endian 64-bit word (may straddle frames).
+func (pm *PhysMem) Read64(pa uint64) uint64 {
+	var v uint64
+	for i := uint(0); i < 8; i++ {
+		v |= uint64(pm.Read8(pa+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit word (may straddle frames).
+func (pm *PhysMem) Write64(pa uint64, v uint64) {
+	for i := uint(0); i < 8; i++ {
+		pm.Write8(pa+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into physical memory starting at pa, frame by frame.
+func (pm *PhysMem) WriteBytes(pa uint64, b []byte) {
+	for len(b) > 0 {
+		frame := pm.frame(pa)
+		off := pa & (PageSize - 1)
+		n := copy(frame[off:], b)
+		b = b[n:]
+		pa += uint64(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at pa.
+func (pm *PhysMem) ReadBytes(pa uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = pm.Read8(pa + uint64(i))
+	}
+	return out
+}
+
+// AddrSpace is a virtual address space: a page-granular map of VA to PTE.
+// Kernel and user mappings coexist in one AddrSpace, distinguished by
+// PermUser, as on x86-64 Linux without KPTI; with KPTI the kernel swaps in
+// a second AddrSpace lacking most kernel mappings while user code runs.
+type AddrSpace struct {
+	pages  map[uint64]PTE // keyed by VA >> PageShift
+	phys   *PhysMem
+	ranges []linearRange // fallback linear windows (e.g. physmap)
+}
+
+// NewAddrSpace returns an empty address space backed by pm.
+func NewAddrSpace(pm *PhysMem) *AddrSpace {
+	return &AddrSpace{pages: make(map[uint64]PTE), phys: pm}
+}
+
+// Phys returns the backing physical memory.
+func (as *AddrSpace) Phys() *PhysMem { return as.phys }
+
+// Map installs a mapping of length bytes from va to pa with the given
+// permissions. va, pa and length must be page aligned.
+func (as *AddrSpace) Map(va, pa, length uint64, perm Perm) error {
+	if va%PageSize != 0 || pa%PageSize != 0 || length%PageSize != 0 {
+		return fmt.Errorf("mem: unaligned Map(%#x, %#x, %#x)", va, pa, length)
+	}
+	for off := uint64(0); off < length; off += PageSize {
+		as.pages[(va+off)>>PageShift] = PTE{PA: pa + off, Perm: perm}
+	}
+	return nil
+}
+
+// MapHuge installs 2 MiB mappings; va, pa, length must be 2 MiB aligned.
+// Huge mappings guarantee physically-contiguous 2 MiB regions, which the
+// physmap Prime+Probe attack relies on (paper Section 7.2).
+func (as *AddrSpace) MapHuge(va, pa, length uint64, perm Perm) error {
+	if va%HugePageSize != 0 || pa%HugePageSize != 0 || length%HugePageSize != 0 {
+		return fmt.Errorf("mem: unaligned MapHuge(%#x, %#x, %#x)", va, pa, length)
+	}
+	for off := uint64(0); off < length; off += PageSize {
+		as.pages[(va+off)>>PageShift] = PTE{PA: pa + off, Perm: perm, Huge: true}
+	}
+	return nil
+}
+
+// Unmap removes mappings covering [va, va+length).
+func (as *AddrSpace) Unmap(va, length uint64) {
+	for off := uint64(0); off < length; off += PageSize {
+		delete(as.pages, (va+off)>>PageShift)
+	}
+}
+
+// SetPerm rewrites the permissions of an existing page, as the paper does
+// when it "changes the PTE attributes of address K to make it accessible to
+// user space" (Section 6.2). It returns false when va is unmapped.
+func (as *AddrSpace) SetPerm(va uint64, perm Perm) bool {
+	key := va >> PageShift
+	pte, ok := as.pages[key]
+	if !ok {
+		return false
+	}
+	pte.Perm = perm
+	as.pages[key] = pte
+	return true
+}
+
+// Lookup returns the PTE covering va, consulting explicit pages first and
+// linear ranges second.
+func (as *AddrSpace) Lookup(va uint64) (PTE, bool) {
+	if pte, ok := as.pages[va>>PageShift]; ok {
+		return pte, true
+	}
+	return as.rangeLookup(va)
+}
+
+// Translate checks permissions for an access of the given kind from the
+// given privilege (user=true means CPL3) and returns the physical address.
+func (as *AddrSpace) Translate(va uint64, kind AccessKind, user bool) (uint64, *Fault) {
+	pte, ok := as.pages[va>>PageShift]
+	if !ok {
+		if pte, ok = as.rangeLookup(va); !ok {
+			return 0, &Fault{VA: va, Kind: kind, NotPresent: true}
+		}
+	}
+	if user && pte.Perm&PermUser == 0 {
+		return 0, &Fault{VA: va, Kind: kind}
+	}
+	switch kind {
+	case AccessWrite:
+		if pte.Perm&PermWrite == 0 {
+			return 0, &Fault{VA: va, Kind: kind}
+		}
+	case AccessFetch:
+		if pte.Perm&PermExec == 0 {
+			return 0, &Fault{VA: va, Kind: kind}
+		}
+	}
+	return pte.PA + va&(PageSize-1), nil
+}
+
+// Read8 performs a privileged (kernel-level, permission-unchecked beyond
+// presence) read, for harness use.
+func (as *AddrSpace) Read8(va uint64) (byte, error) {
+	pa, f := as.Translate(va, AccessRead, false)
+	if f != nil {
+		return 0, f
+	}
+	return as.phys.Read8(pa), nil
+}
+
+// Read64 performs a privileged 64-bit read for harness use.
+func (as *AddrSpace) Read64(va uint64) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < 8; i++ {
+		b, err := as.Read8(va + uint64(i))
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write64 performs a privileged 64-bit write for harness use.
+func (as *AddrSpace) Write64(va uint64, v uint64) error {
+	for i := uint(0); i < 8; i++ {
+		pa, f := as.Translate(va+uint64(i), AccessRead, false)
+		if f != nil {
+			return f
+		}
+		as.phys.Write8(pa, byte(v>>(8*i)))
+	}
+	return nil
+}
+
+// WriteBytes installs b at va via existing mappings (harness use).
+func (as *AddrSpace) WriteBytes(va uint64, b []byte) error {
+	for i, c := range b {
+		pa, f := as.Translate(va+uint64(i), AccessRead, false)
+		if f != nil {
+			return f
+		}
+		as.phys.Write8(pa, c)
+	}
+	return nil
+}
+
+// Clone returns a copy of the address space sharing the same physical
+// memory (used to build KPTI's shadow table).
+func (as *AddrSpace) Clone() *AddrSpace {
+	c := NewAddrSpace(as.phys)
+	for k, v := range as.pages {
+		c.pages[k] = v
+	}
+	c.ranges = append([]linearRange(nil), as.ranges...)
+	return c
+}
+
+// MappedPages returns the number of installed PTEs (diagnostics).
+func (as *AddrSpace) MappedPages() int { return len(as.pages) }

@@ -1,0 +1,288 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysMemReadWrite(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	pm.Write8(0x1234, 0xab)
+	if got := pm.Read8(0x1234); got != 0xab {
+		t.Errorf("Read8 = %#x", got)
+	}
+	// Straddling a frame boundary.
+	pm.Write64(PageSize-4, 0x1122334455667788)
+	if got := pm.Read64(PageSize - 4); got != 0x1122334455667788 {
+		t.Errorf("straddle Read64 = %#x", got)
+	}
+}
+
+func TestPhysMemRoundTripProperty(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	f := func(pa uint64, v uint64) bool {
+		pa %= 1 << 29
+		pm.Write64(pa, v)
+		return pm.Read64(pa) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapTranslatePermissions(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	as := NewAddrSpace(pm)
+	if err := as.Map(0x400000, 0x10000, PageSize, PermRead|PermExec|PermUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0xffffffff81000000, 0x20000, PageSize, PermRead|PermExec); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0xffff888000000000, 0x30000, PageSize, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	// User fetch of user-exec page: fine.
+	if _, f := as.Translate(0x400123, AccessFetch, true); f != nil {
+		t.Errorf("user fetch faulted: %v", f)
+	}
+	// User access to kernel page: permission fault, present.
+	if _, f := as.Translate(0xffffffff81000000, AccessRead, true); f == nil || f.NotPresent {
+		t.Errorf("user read of kernel page: %v", f)
+	}
+	// Kernel fetch of NX physmap page: NX fault.
+	if _, f := as.Translate(0xffff888000000000, AccessFetch, false); f == nil || f.NotPresent {
+		t.Errorf("fetch of NX page: %v", f)
+	}
+	// Kernel read of physmap: fine.
+	if _, f := as.Translate(0xffff888000000000, AccessRead, false); f != nil {
+		t.Errorf("kernel read faulted: %v", f)
+	}
+	// Write to read-only page.
+	if _, f := as.Translate(0x400000, AccessWrite, true); f == nil {
+		t.Error("write to r-x page did not fault")
+	}
+	// Unmapped.
+	if _, f := as.Translate(0xdead000, AccessRead, false); f == nil || !f.NotPresent {
+		t.Errorf("unmapped: %v", f)
+	}
+}
+
+func TestTranslateOffsets(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	as := NewAddrSpace(pm)
+	if err := as.Map(0x400000, 0x10000, 4*PageSize, PermRead|PermUser); err != nil {
+		t.Fatal(err)
+	}
+	pa, f := as.Translate(0x400000+2*PageSize+0x123, AccessRead, true)
+	if f != nil || pa != 0x10000+2*PageSize+0x123 {
+		t.Fatalf("pa = %#x f=%v", pa, f)
+	}
+}
+
+func TestUnalignedMapFails(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	if err := as.Map(0x400001, 0, PageSize, PermRead); err == nil {
+		t.Error("unaligned va accepted")
+	}
+	if err := as.MapHuge(0x500000, 0, HugePageSize, PermRead); err == nil {
+		t.Error("non-huge-aligned va accepted")
+	}
+}
+
+func TestSetPerm(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	as.Map(0xffffffff81000000, 0, PageSize, PermRead|PermExec)
+	// Paper Section 6.2: make a kernel page user-accessible by editing
+	// its PTE.
+	if !as.SetPerm(0xffffffff81000000, PermRead|PermExec|PermUser) {
+		t.Fatal("SetPerm failed")
+	}
+	if _, f := as.Translate(0xffffffff81000000, AccessFetch, true); f != nil {
+		t.Errorf("user fetch after SetPerm: %v", f)
+	}
+	if as.SetPerm(0x123000, PermRead) {
+		t.Error("SetPerm on unmapped page succeeded")
+	}
+}
+
+func TestUnmapAndClone(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	as.Map(0x400000, 0, 2*PageSize, PermRead|PermUser)
+	clone := as.Clone()
+	as.Unmap(0x400000, PageSize)
+	if _, f := as.Translate(0x400000, AccessRead, true); f == nil {
+		t.Error("unmapped page still translates")
+	}
+	if _, f := as.Translate(0x401000, AccessRead, true); f != nil {
+		t.Error("unmap removed too much")
+	}
+	// Clone unaffected (KPTI shadow semantics).
+	if _, f := clone.Translate(0x400000, AccessRead, true); f != nil {
+		t.Error("clone affected by original's unmap")
+	}
+}
+
+func TestAddrSpaceRW(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	as.Map(0x400000, 0x4000, PageSize, PermRead|PermWrite|PermUser)
+	if err := as.Write64(0x400010, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.Read64(0x400010)
+	if err != nil || v != 0xfeedface {
+		t.Fatalf("Read64 = %#x err=%v", v, err)
+	}
+	if err := as.WriteBytes(0x400100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.Read8(0x400102)
+	if err != nil || b != 3 {
+		t.Fatalf("Read8 = %d err=%v", b, err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb := NewTLB(16, 4)
+	if tlb.Lookup(0x400000) {
+		t.Error("cold TLB hit")
+	}
+	if !tlb.Lookup(0x400000) {
+		t.Error("warm TLB miss")
+	}
+	if !tlb.Lookup(0x400fff) {
+		t.Error("same-page TLB miss")
+	}
+	tlb.FlushPage(0x400000)
+	if tlb.Lookup(0x400000) {
+		t.Error("hit after FlushPage")
+	}
+	tlb.Flush()
+	if tlb.Lookup(0x400000) {
+		t.Error("hit after Flush")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	tlb := NewTLB(1, 2) // single set, 2 ways
+	tlb.Lookup(0x1000)
+	tlb.Lookup(0x2000)
+	tlb.Lookup(0x3000) // evicts 0x1000 (round robin)
+	if tlb.Lookup(0x1000) {
+		t.Error("evicted entry still hits")
+	}
+}
+
+func TestFrameAllocatorSeq(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	fa := NewFrameAllocator(pm, 0x100000, rand.New(rand.NewSource(1)))
+	a := fa.AllocSeq(3 * PageSize)
+	b := fa.AllocSeq(PageSize)
+	if a != 0x100000 || b != a+3*PageSize {
+		t.Fatalf("seq alloc: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestFrameAllocatorRandomHuge(t *testing.T) {
+	pm := NewPhysMem(1 << 30) // 512 huge slots
+	fa := NewFrameAllocator(pm, 0, rand.New(rand.NewSource(2)))
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		pa, err := fa.AllocRandomHuge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa%HugePageSize != 0 {
+			t.Fatalf("unaligned huge frame %#x", pa)
+		}
+		if seen[pa] {
+			t.Fatalf("duplicate huge frame %#x", pa)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestFrameAllocatorReserveExcludes(t *testing.T) {
+	pm := NewPhysMem(4 * HugePageSize)
+	fa := NewFrameAllocator(pm, 0, rand.New(rand.NewSource(3)))
+	// Reserve all but one slot; random allocation must return the free one.
+	fa.Reserve(0, HugePageSize)
+	fa.Reserve(2*HugePageSize, 2*HugePageSize)
+	pa, err := fa.AllocRandomHuge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != HugePageSize {
+		t.Fatalf("allocated reserved frame %#x", pa)
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{VA: 0x123, Kind: AccessFetch, NotPresent: true}
+	if f.Error() == "" {
+		t.Error("empty error string")
+	}
+	if PermRead.String() == "" || AccessWrite.String() == "" {
+		t.Error("stringers broken")
+	}
+}
+
+func TestLinearRangeTranslateAndShadow(t *testing.T) {
+	pm := NewPhysMem(1 << 30)
+	as := NewAddrSpace(pm)
+	base := uint64(0xffff888000000000)
+	if err := as.AddLinearRange(base, 0, 1<<22, PermRead|PermWrite, true); err != nil {
+		t.Fatal(err)
+	}
+	// Translation through the range.
+	pa, f := as.Translate(base+0x123456, AccessRead, false)
+	if f != nil || pa != 0x123456 {
+		t.Fatalf("range translate: %#x, %v", pa, f)
+	}
+	// An explicit mapping shadows part of the range.
+	if err := as.Map(base+0x1000, 0x400000, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	pa, f = as.Translate(base+0x1040, AccessRead, false)
+	if f != nil || pa != 0x400040 {
+		t.Fatalf("shadowed translate: %#x, %v", pa, f)
+	}
+	// Beyond the range: fault.
+	if _, f := as.Translate(base+(1<<22), AccessRead, false); f == nil {
+		t.Fatal("translate past range end")
+	}
+	// Before the range: fault.
+	if _, f := as.Translate(base-PageSize, AccessRead, false); f == nil {
+		t.Fatal("translate before range start")
+	}
+	// Lookup consults ranges too.
+	if pte, ok := as.Lookup(base + 0x2000); !ok || !pte.Huge {
+		t.Fatalf("Lookup through range: %+v ok=%v", pte, ok)
+	}
+}
+
+func TestLinearRangeOverlapRejected(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	if err := as.AddLinearRange(0x1000000, 0, 1<<20, PermRead, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.AddLinearRange(0x1080000, 0, 1<<20, PermRead, false); err == nil {
+		t.Fatal("overlapping range accepted")
+	}
+	if err := as.AddLinearRange(0x1000001, 0, PageSize, PermRead, false); err == nil {
+		t.Fatal("unaligned range accepted")
+	}
+}
+
+func TestCloneCopiesRanges(t *testing.T) {
+	as := NewAddrSpace(NewPhysMem(1 << 20))
+	if err := as.AddLinearRange(0x2000000, 0, 1<<20, PermRead, false); err != nil {
+		t.Fatal(err)
+	}
+	c := as.Clone()
+	if _, f := c.Translate(0x2000040, AccessRead, false); f != nil {
+		t.Fatal("clone lost linear ranges")
+	}
+}

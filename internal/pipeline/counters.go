@@ -1,0 +1,66 @@
+package pipeline
+
+import "fmt"
+
+// PerfCounters are the events an unprivileged attacker can legitimately
+// sample on the modeled parts, mirroring the hardware events the paper
+// uses: µop-cache hit/miss (de_dis_uops_from_decoder.opcache_dispatched on
+// Zen 2, op_cache_hit_miss.op_cache_hit on Zen 3/4, idq.dsb_cycles on
+// Intel), retired instructions/cycles, and branch-misprediction counts.
+// Attack code may read these; per the paper (Section 5.1), misprediction
+// counts alone cannot reveal how far a wrong path advanced.
+type PerfCounters struct {
+	Instructions uint64
+	Cycles       uint64
+
+	UopCacheHits   uint64
+	UopCacheMisses uint64
+
+	BTBLookups uint64
+	BTBHits    uint64
+
+	// MispredictsResteered counts resteers of any origin, like the
+	// generic "bad speculation" events. It does not distinguish stages.
+	MispredictsResteered uint64
+}
+
+// Delta returns c - base field-wise.
+func (c PerfCounters) Delta(base PerfCounters) PerfCounters {
+	return PerfCounters{
+		Instructions:         c.Instructions - base.Instructions,
+		Cycles:               c.Cycles - base.Cycles,
+		UopCacheHits:         c.UopCacheHits - base.UopCacheHits,
+		UopCacheMisses:       c.UopCacheMisses - base.UopCacheMisses,
+		BTBLookups:           c.BTBLookups - base.BTBLookups,
+		BTBHits:              c.BTBHits - base.BTBHits,
+		MispredictsResteered: c.MispredictsResteered - base.MispredictsResteered,
+	}
+}
+
+func (c PerfCounters) String() string {
+	return fmt.Sprintf("inst=%d cyc=%d opc_hit=%d opc_miss=%d btb=%d/%d resteer=%d",
+		c.Instructions, c.Cycles, c.UopCacheHits, c.UopCacheMisses,
+		c.BTBHits, c.BTBLookups, c.MispredictsResteered)
+}
+
+// DebugCounters are simulator ground truth that no real attacker could
+// read. They exist for tests and for validating that the observation
+// channels (which only look at caches and PerfCounters) reconstruct the
+// truth. Experiment code must not consult them to produce results.
+type DebugCounters struct {
+	FrontendResteers uint64 // decoder-detected mispredictions (Phantom)
+	BackendResteers  uint64 // execute-detected mispredictions (Spectre)
+
+	TransientFetchLines uint64 // wrong-path I-cache line fills
+	TransientDecodes    uint64 // wrong-path instructions decoded
+	TransientUops       uint64 // wrong-path µops dispatched
+	TransientLoads      uint64 // wrong-path loads issued to the D-cache
+
+	// PrefetchOnRejectedPrediction counts I-cache fills performed for
+	// predictions that a mitigation (AutoIBRS) refused to steer by — the
+	// residual leak of Observation O5.
+	PrefetchOnRejectedPrediction uint64
+
+	Faults   uint64
+	Syscalls uint64
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"testing"
+
+	"phantom/internal/btb"
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// Tests for the software defenses Section 2.4 discusses: retpolines and
+// RSB stuffing. They demonstrate why those defenses stop classic Spectre
+// but cannot stop Phantom — Phantom triggers at instructions that are not
+// (known to be) branches at all, so there is no branch source to rewrite.
+
+// buildRetpoline emits the classic retpoline thunk for an indirect jump
+// through reg:
+//
+//	  call set_up_target
+//	capture:
+//	  lfence
+//	  jmp capture
+//	set_up_target:
+//	  mov [rsp], reg
+//	  ret
+func buildRetpoline(a *isa.Assembler, reg int, id string) {
+	a.Call("rp_setup_" + id)
+	a.Label("rp_capture_" + id)
+	a.Lfence()
+	a.Jmp("rp_capture_" + id)
+	a.Label("rp_setup_" + id)
+	a.Store(isa.RSP, 0, reg)
+	a.Ret()
+}
+
+func TestRetpolineSafeWithoutAliasedTraining(t *testing.T) {
+	// A retpoline replaces the indirect branch with a ret whose RSB
+	// prediction points into the lfence capture loop; absent any attacker
+	// BTB training, no wrong path reaches an attacker target.
+	runRetpoline(t, false)
+}
+
+func TestRetpolineBypassedByBranchTypeConfusion(t *testing.T) {
+	// ...but on Zen 1/2 an attacker who aliases the retpoline's ret with a
+	// jmp*-class BTB entry hijacks it through the short decoder-detectable
+	// window — the Retbleed [73] finding (Table 1 cell b) that led AMD to
+	// `untrain ret`, and part of why the paper argues patching branch
+	// sources cannot be complete (Section 8.2).
+	runRetpoline(t, true)
+}
+
+func runRetpoline(t *testing.T, poison bool) {
+	m := newTestMachine(t, uarch.Zen2())
+
+	code := isa.NewAssembler(0x400000)
+	code.MovImm(isa.RSP, 0x700000+0x800)
+	buildRetpoline(code, isa.RSI, "x")
+	// Architectural continuation (the indirect target) is set below.
+	installCode(t, m, code)
+	installData(t, m, 0x700000, mem.PageSize)
+
+	// Victim target V: benign. Attacker target C: a load gadget.
+	vTgt := uint64(0x480000)
+	vt := isa.NewAssembler(vTgt)
+	vt.Hlt()
+	installCode(t, m, vt)
+	cAddr := uint64(0x7f0000) + 0x3c0
+	ca := isa.NewAssembler(cAddr)
+	ca.Load(isa.RAX, isa.R8, 0)
+	ca.Hlt()
+	installCode(t, m, ca)
+	probeVA := uint64(0x600000)
+	installData(t, m, probeVA, mem.PageSize)
+
+	if poison {
+		// Plant a jmp*-class prediction at the ret's address, as an
+		// attacker with BTB aliasing would.
+		retAddr := code.MustAddr("rp_setup_x") + uint64(len(isa.EncStore(isa.RSP, 0, isa.RSI)))
+		m.BTB.Update(retAddr, false, isa.BrJmpInd, cAddr)
+	}
+
+	probePA := paOf(t, m, probeVA)
+	m.Hier.FlushLine(probePA)
+	m.Regs[isa.RSI] = vTgt
+	m.Regs[isa.R8] = probeVA
+	if res := m.RunAt(0x400000, 200); res.Reason != StopHalt {
+		t.Fatalf("retpoline run: %v", res)
+	}
+	// The phantom window at the ret (class confusion jmp* vs ret) steers
+	// to C transiently — but on a *retpoline* the interesting part is the
+	// architectural result: control reached the real target.
+	if m.RIP != vTgt {
+		t.Fatalf("retpoline did not reach the architectural target: rip=%#x", m.RIP)
+	}
+	leaked := m.Hier.L1D.Present(probePA) || m.Hier.L2.Present(probePA)
+	if poison && !leaked {
+		t.Fatal("type-confused retpoline ret did not leak on Zen 2 (Retbleed cell)")
+	}
+	if !poison && leaked {
+		t.Fatal("untrained retpoline leaked: capture loop failed")
+	}
+}
+
+func TestRetpolineDoesNotStopPhantom(t *testing.T) {
+	// The Section 8 point: rewriting branch sources cannot help when the
+	// victim "branch source" is a plain nop. A retpoline-hardened program
+	// still has nops, and an aliased prediction at one of them speculates
+	// as usual.
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.train(t, 3)
+	f.flushSignals()
+	f.runVictim(t)
+	fetch, decode, exec := f.signals()
+	if !fetch || !decode || !exec {
+		t.Fatalf("phantom blocked without any branch source to protect: IF=%v ID=%v EX=%v",
+			fetch, decode, exec)
+	}
+}
+
+func TestRSBStuffingRedirectsRetPrediction(t *testing.T) {
+	// RSB stuffing overwrites return predictions with a dummy target
+	// (Section 2.4). A ret-class phantom prediction then steers to the
+	// dummy instead of an attacker-controlled call site.
+	m := newTestMachine(t, uarch.Zen2())
+	maskVal, _ := btb.SamePrivAliasMask(m.BTB.Scheme())
+
+	aAddr := uint64(0x400000) + 0x6a0
+	bAddr := aAddr ^ maskVal
+	cAddr := uint64(0x7f0000) + 0x3c0
+	dummy := uint64(0x7f2000) + 0x840
+
+	// Train a ret-class entry at the aliased slot.
+	ta := isa.NewAssembler(aAddr)
+	ta.Ret()
+	installCode(t, m, ta)
+	vb := isa.NewAssembler(bAddr)
+	vb.NopSled(16)
+	vb.Hlt()
+	installCode(t, m, vb)
+	ca := isa.NewAssembler(cAddr)
+	ca.NopSled(8)
+	ca.Hlt()
+	installCode(t, m, ca)
+	da := isa.NewAssembler(dummy)
+	da.NopSled(8)
+	da.Hlt()
+	installCode(t, m, da)
+	installData(t, m, 0x700000, mem.PageSize)
+
+	// Training: architectural ret to C.
+	for i := 0; i < 2; i++ {
+		m.Regs[isa.RSP] = 0x700000 + 0x800 - 8
+		if err := m.UserAS.Write64(m.Regs[isa.RSP], cAddr); err != nil {
+			t.Fatal(err)
+		}
+		if res := m.RunAt(aAddr, 50); res.Reason != StopHalt {
+			t.Fatalf("training: %v", res)
+		}
+	}
+
+	// Stuff the RSB with the dummy target, then run the victim.
+	m.RSB.Fill(dummy)
+	cPA := paOf(t, m, cAddr)
+	dPA := paOf(t, m, dummy)
+	m.Hier.FlushLine(cPA)
+	m.Hier.FlushLine(dPA)
+	if res := m.RunAt(bAddr, 50); res.Reason != StopHalt {
+		t.Fatalf("victim: %v", res)
+	}
+	if m.Hier.L1I.Present(cPA) {
+		t.Fatal("ret-class phantom ignored the stuffed RSB")
+	}
+	if !m.Hier.L1I.Present(dPA) {
+		t.Fatal("stuffed dummy target was not fetched — prediction vanished instead of redirecting")
+	}
+}
+
+func TestHistoryTaggedSchemeRequiresMatchingHistory(t *testing.T) {
+	// With a history-tagged BTB (Section 2.1 behaviour, BHI-style [8]),
+	// a phantom injection only fires when the victim reaches the branch
+	// with the same folded history the trainer had. The evaluated parts
+	// are modeled without history tags (the paper's exploits need none);
+	// this documents what the knob changes.
+	p := uarch.Zen2()
+	base := p.NewScheme
+	p.NewScheme = func() *btb.Scheme {
+		s := base()
+		s.BHBTagBits = 8
+		return s
+	}
+
+	f := buildPhantomFixture(t, p)
+	f.train(t, 3)
+	f.flushSignals()
+
+	// The victim run starts from RunAt with whatever history is in the
+	// BHB. Training ended with the jmp* edge recorded, so the victim's
+	// history differs from the trainer's pre-branch history — the aliased
+	// entry should not be selected.
+	f.m.BHB.Record(0x1234, 0x5678) // scramble further
+	f.runVictim(t)
+	fetch, decode, exec := f.signals()
+	if fetch || decode || exec {
+		t.Fatalf("history-tagged scheme matched across different histories: IF=%v ID=%v EX=%v",
+			fetch, decode, exec)
+	}
+
+	// With the history restored to the trainer's fingerprint, it fires.
+	// (Train once: each training pass runs under a different rolling
+	// history and would allocate a separate entry.)
+	f.m.IBPB()
+	f.m.BHB.Clear()
+	f.train(t, 1)
+	f.flushSignals()
+	f.m.BHB.Clear() // trainer executed its branch with a clear history
+	f.runVictim(t)
+	fetch, decode, exec = f.signals()
+	if !fetch || !decode || !exec {
+		t.Fatalf("history-tagged scheme missed with matching history: IF=%v ID=%v EX=%v",
+			fetch, decode, exec)
+	}
+}

@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+)
+
+// Syscall transition costs in cycles (entry includes swapgs/stack switch;
+// KPTI adds a CR3 write and TLB effect).
+const (
+	syscallEntryCost = 90
+	syscallExitCost  = 70
+	kptiExtraCost    = 40
+)
+
+// exec retires one architectural instruction, updating registers, memory,
+// and — critically — the predictors: every executed branch trains the BTB
+// with its *class* and target, which is the state Phantom attacks inject
+// from user mode.
+func (m *Machine) exec(va uint64, in isa.Inst) *RunResult {
+	next := va + uint64(in.Len)
+
+	switch in.Op {
+	case isa.OpNop:
+		// nothing
+	case isa.OpMovImm:
+		m.Regs[in.Reg] = uint64(in.Imm)
+	case isa.OpMovReg:
+		m.Regs[in.Reg] = m.Regs[in.Reg2]
+	case isa.OpXorReg:
+		m.Regs[in.Reg] ^= m.Regs[in.Reg2]
+		m.ZF = m.Regs[in.Reg] == 0
+		m.CF = false
+	case isa.OpAddReg:
+		old := m.Regs[in.Reg]
+		m.Regs[in.Reg] += m.Regs[in.Reg2]
+		m.ZF = m.Regs[in.Reg] == 0
+		m.CF = m.Regs[in.Reg] < old
+	case isa.OpSubReg:
+		old := m.Regs[in.Reg]
+		m.Regs[in.Reg] -= m.Regs[in.Reg2]
+		m.ZF = m.Regs[in.Reg] == 0
+		m.CF = old < m.Regs[in.Reg2]
+	case isa.OpCmpReg:
+		m.ZF = m.Regs[in.Reg] == m.Regs[in.Reg2]
+		m.CF = m.Regs[in.Reg] < m.Regs[in.Reg2]
+	case isa.OpAluImm:
+		m.Regs[in.Reg], m.ZF, m.CF = aluImm(in.Alu, m.Regs[in.Reg], uint64(in.Imm), m.ZF, m.CF)
+	case isa.OpShiftImm:
+		if in.Alu == 4 {
+			m.Regs[in.Reg] <<= uint(in.Imm)
+		} else {
+			m.Regs[in.Reg] >>= uint(in.Imm)
+		}
+		m.ZF = m.Regs[in.Reg] == 0
+	case isa.OpLoad:
+		addr := m.Regs[in.Reg2] + uint64(int64(in.Disp))
+		pa, f := m.dataAccess(addr, mem.AccessRead)
+		if f != nil {
+			return m.fault(f)
+		}
+		m.Regs[in.Reg] = m.Phys.Read64(pa)
+	case isa.OpStore:
+		addr := m.Regs[in.Reg2] + uint64(int64(in.Disp))
+		pa, f := m.dataAccess(addr, mem.AccessWrite)
+		if f != nil {
+			return m.fault(f)
+		}
+		m.Phys.Write64(pa, m.Regs[in.Reg])
+	case isa.OpPush:
+		m.Regs[isa.RSP] -= 8
+		pa, f := m.dataAccess(m.Regs[isa.RSP], mem.AccessWrite)
+		if f != nil {
+			m.Regs[isa.RSP] += 8
+			return m.fault(f)
+		}
+		m.Phys.Write64(pa, m.Regs[in.Reg])
+	case isa.OpPop:
+		pa, f := m.dataAccess(m.Regs[isa.RSP], mem.AccessRead)
+		if f != nil {
+			return m.fault(f)
+		}
+		m.Regs[in.Reg] = m.Phys.Read64(pa)
+		m.Regs[isa.RSP] += 8
+	case isa.OpRdtsc:
+		m.Regs[isa.RAX] = m.Cycle
+	case isa.OpClflush:
+		addr := m.Regs[in.Reg2] + uint64(int64(in.Disp))
+		pa, f := m.AS().Translate(addr, mem.AccessRead, !m.Kernel)
+		if f != nil {
+			return m.fault(f)
+		}
+		m.Hier.FlushLine(pa)
+		m.Cycle += 40
+	case isa.OpLfence, isa.OpMfence:
+		m.Cycle += 4
+	case isa.OpHlt:
+		return &RunResult{Reason: StopHalt}
+	case isa.OpInt3:
+		return &RunResult{Reason: StopTrap}
+
+	case isa.OpJmp:
+		next = m.takeBranch(va, isa.BrJmp, in.Target(va))
+	case isa.OpJcc:
+		taken := m.evalCond(in.Cond)
+		m.PHT.Update(va, m.BHB.Value(), taken)
+		if taken {
+			next = m.takeBranch(va, isa.BrJcc, in.Target(va))
+		}
+	case isa.OpJmpInd:
+		next = m.takeBranch(va, isa.BrJmpInd, m.Regs[in.Reg])
+	case isa.OpCall:
+		target := in.Target(va)
+		if stop := m.pushRet(next); stop != nil {
+			return stop
+		}
+		m.RSB.Push(next)
+		next = m.takeBranch(va, isa.BrCall, target)
+	case isa.OpCallInd:
+		target := m.Regs[in.Reg]
+		if stop := m.pushRet(next); stop != nil {
+			return stop
+		}
+		m.RSB.Push(next)
+		next = m.takeBranch(va, isa.BrCallInd, target)
+	case isa.OpRet:
+		pa, f := m.dataAccess(m.Regs[isa.RSP], mem.AccessRead)
+		if f != nil {
+			return m.fault(f)
+		}
+		target := m.Phys.Read64(pa)
+		m.Regs[isa.RSP] += 8
+		m.RSB.Pop()
+		next = m.takeBranch(va, isa.BrRet, target)
+
+	case isa.OpSyscall:
+		if !m.Kernel {
+			if m.SyscallEntry == 0 {
+				return &RunResult{Reason: StopTrap}
+			}
+			m.Debug.Syscalls++
+			m.emit(EvSyscall, va, 1)
+			m.syscallRet = next
+			m.Kernel = true
+			m.Cycle += syscallEntryCost
+			if m.KPTI {
+				m.Cycle += kptiExtraCost
+				m.ITLB.Flush()
+				m.DTLB.Flush()
+			}
+			if m.MSR.IBPBOnKernelEntry {
+				m.IBPB()
+				m.Cycle += 1200 // IBPB's documented heavyweight cost
+			}
+			m.Noise.SyscallThrash()
+			next = m.SyscallEntry
+		} else {
+			// In kernel mode the instruction acts as sysret.
+			m.emit(EvSyscall, va, 0)
+			m.Kernel = false
+			m.Cycle += syscallExitCost
+			if m.KPTI {
+				m.Cycle += kptiExtraCost
+				m.ITLB.Flush()
+				m.DTLB.Flush()
+			}
+			m.Noise.SyscallThrash()
+			next = m.syscallRet
+		}
+		m.lastFetchLine = ^uint64(0)
+		m.lastUopLine = ^uint64(0)
+	}
+
+	m.RIP = next
+	return nil
+}
+
+// takeBranch retires a taken branch: trains the BTB with the branch class
+// (the property Phantom exploits — Section 5.2: "the training instruction
+// always determines the prediction semantics of the victim instruction"),
+// records the edge in the history, and redirects fetch.
+func (m *Machine) takeBranch(va uint64, class isa.BranchClass, target uint64) uint64 {
+	m.emit(EvBranch, va, target)
+	m.BTB.UpdateBHB(va, m.Kernel, class, target, m.BHB.Value())
+	m.BHB.Record(va, target)
+	m.lastFetchLine = ^uint64(0)
+	m.lastUopLine = ^uint64(0)
+	return target
+}
+
+// pushRet pushes a call's return address onto the architectural stack.
+func (m *Machine) pushRet(ret uint64) *RunResult {
+	m.Regs[isa.RSP] -= 8
+	pa, f := m.dataAccess(m.Regs[isa.RSP], mem.AccessWrite)
+	if f != nil {
+		m.Regs[isa.RSP] += 8
+		return m.fault(f)
+	}
+	m.Phys.Write64(pa, ret)
+	return nil
+}

@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// Robustness: the machine must never panic and the clock must stay
+// monotonic, no matter what bytes it executes — random soup, random valid
+// programs, or random predictor state. Speculative fetch of garbage is
+// Phantom's daily business, so the interpreter has to shrug at anything.
+
+func TestRandomByteSoupNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xf00d))
+	for trial := 0; trial < 60; trial++ {
+		profiles := uarch.All()
+		m := New(profiles[trial%len(profiles)], 1<<30, int64(trial))
+		m.Noise.Level = 0.5
+
+		blob := make([]byte, 4096)
+		rng.Read(blob)
+		if err := m.UserAS.Map(0x400000, 0x10000, mem.PageSize,
+			mem.PermRead|mem.PermWrite|mem.PermExec|mem.PermUser); err != nil {
+			t.Fatal(err)
+		}
+		m.Phys.WriteBytes(0x10000, blob)
+
+		for r := range m.Regs {
+			m.Regs[r] = rng.Uint64()
+		}
+		m.Regs[isa.RSP] = 0x400800
+
+		before := m.Cycle
+		res := m.RunAt(0x400000+uint64(rng.Intn(4096-64)), 500)
+		if m.Cycle < before {
+			t.Fatalf("clock went backwards (trial %d)", trial)
+		}
+		_ = res // any stop reason is acceptable; not stopping is too (limit)
+	}
+}
+
+func TestRandomValidProgramsExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbeef))
+	for trial := 0; trial < 40; trial++ {
+		m := New(uarch.Zen2(), 1<<30, int64(trial))
+		m.Noise.Level = 0
+
+		a := isa.NewAssembler(0x400000)
+		a.MovImm(isa.RSP, 0x600000+0x800)
+		a.MovImm(isa.RSI, 0x600000)
+		n := 10 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				a.AluImm(isa.AluAdd, rng.Intn(4), int32(rng.Uint32()&0xffff))
+			case 1:
+				a.Xor(rng.Intn(4), rng.Intn(4))
+			case 2:
+				a.Shl(rng.Intn(4), uint8(rng.Intn(8)))
+			case 3:
+				a.Load(rng.Intn(4), isa.RSI, int32(rng.Intn(64)*8))
+			case 4:
+				a.Store(isa.RSI, int32(rng.Intn(64)*8), rng.Intn(4))
+			case 5:
+				a.Nop(1 + rng.Intn(5))
+			case 6:
+				a.Push(rng.Intn(4))
+				a.Pop(rng.Intn(4))
+			case 7:
+				a.CmpReg(rng.Intn(4), rng.Intn(4))
+			case 8:
+				a.Lfence()
+			case 9:
+				a.Rdtsc()
+			}
+		}
+		a.Hlt()
+
+		blob, err := a.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := uint64(0x400000)
+		end := (base + uint64(len(blob)) + mem.PageSize) &^ (mem.PageSize - 1)
+		if err := m.UserAS.Map(base, 0x20000, end-base, mem.PermRead|mem.PermExec|mem.PermUser); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.UserAS.WriteBytes(base, blob); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.UserAS.Map(0x600000, 0x80000, mem.PageSize,
+			mem.PermRead|mem.PermWrite|mem.PermUser); err != nil {
+			t.Fatal(err)
+		}
+
+		res := m.RunAt(base, 10000)
+		if res.Reason != StopHalt {
+			t.Fatalf("trial %d: random valid program did not halt: %v", trial, res)
+		}
+	}
+}
+
+func TestRandomPredictorPoisoningIsHarmless(t *testing.T) {
+	// Plant garbage BTB entries everywhere, then run a correct program:
+	// architectural results must be unaffected (speculation never leaks
+	// into architecture).
+	rng := rand.New(rand.NewSource(0xc0de))
+	m := New(uarch.Zen1(), 1<<30, 3)
+	m.Noise.Level = 0
+
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RSP, 0x600000+0x800)
+	a.MovImm(isa.RAX, 0)
+	a.MovImm(isa.RCX, 20)
+	a.Label("loop")
+	a.AluImm(isa.AluAdd, isa.RAX, 7)
+	a.Call("fn")
+	a.AluImm(isa.AluSub, isa.RCX, 1)
+	a.AluImm(isa.AluCmp, isa.RCX, 0)
+	a.Jcc(isa.CondNZ, "loop")
+	a.Hlt()
+	a.Label("fn")
+	a.AluImm(isa.AluAdd, isa.RAX, 1)
+	a.Ret()
+	blob := a.MustBytes()
+	if err := m.UserAS.Map(0x400000, 0x30000, 2*mem.PageSize,
+		mem.PermRead|mem.PermExec|mem.PermUser); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UserAS.WriteBytes(0x400000, blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UserAS.Map(0x600000, 0x40000, mem.PageSize,
+		mem.PermRead|mem.PermWrite|mem.PermUser); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison: random class/target entries across the program's pages.
+	classes := []isa.BranchClass{isa.BrJmp, isa.BrJmpInd, isa.BrJcc, isa.BrCall, isa.BrRet}
+	for i := 0; i < 2000; i++ {
+		va := 0x400000 + uint64(rng.Intn(2*4096))
+		m.BTB.Update(va, false, classes[rng.Intn(len(classes))], 0x400000+uint64(rng.Intn(4096)))
+	}
+
+	res := m.RunAt(0x400000, 50000)
+	if res.Reason != StopHalt {
+		t.Fatalf("poisoned run: %v", res)
+	}
+	if m.Regs[isa.RAX] != 20*8 {
+		t.Fatalf("architectural result corrupted by predictor poison: rax=%d", m.Regs[isa.RAX])
+	}
+}

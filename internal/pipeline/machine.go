@@ -1,0 +1,283 @@
+// Package pipeline implements the simulated machine: a decoupled
+// frontend/backend x86-like pipeline with branch prediction before
+// instruction decode, per Figure 2 of the paper.
+//
+// # Execution model
+//
+// The machine interprets the architectural instruction stream one
+// instruction at a time, charging cycles for fetch (I-TLB, I-cache
+// hierarchy), decode (µop cache), execution (D-TLB, D-cache hierarchy)
+// and branch resteers. At every instruction fetch the BTB is consulted
+// *before* the bytes are decoded. When the prediction disagrees with what
+// the decoder or the execute stage later establishes, the machine runs a
+// bounded wrong-path "speculation episode" that leaves real footprints in
+// the I-cache, µop cache and D-cache — the footprints Phantom measures —
+// and then resteers.
+//
+// Two windows bound an episode (uarch.Profile): the Phantom window for
+// decoder-detectable mispredictions (frontend-issued resteer) and the much
+// longer Spectre window for execute-resolved ones (backend-issued
+// resteer). On Zen 1/2 the Phantom window dispatches a handful of µops —
+// enough for exactly the single memory load the paper's P2/P3 primitives
+// need; on Zen 3/4 and Intel wrong-path µops of decoder-detectable
+// mispredictions never dispatch.
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phantom/internal/btb"
+	"phantom/internal/cache"
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// lineSize is the cache line size shared by all modeled caches.
+const lineSize = 64
+
+// Machine is one simulated logical CPU plus its memory system.
+type Machine struct {
+	Prof *uarch.Profile
+	MSR  uarch.MSRState
+
+	Phys *mem.PhysMem
+	// UserAS is the address space active in user mode. KernelAS is the
+	// one active in kernel mode; without KPTI both point to the same
+	// AddrSpace.
+	UserAS   *mem.AddrSpace
+	KernelAS *mem.AddrSpace
+
+	Hier *cache.Hierarchy
+	Uop  *cache.Cache
+	ITLB *mem.TLB
+	DTLB *mem.TLB
+
+	BTB *btb.BTB
+	RSB *btb.RSB
+	PHT *btb.PHT
+	BHB *btb.BHB
+
+	// Architectural state.
+	Regs   [isa.NumRegs]uint64
+	ZF, CF bool
+	RIP    uint64
+	Kernel bool
+
+	// Cycle is the global clock, visible to simulated code via rdtsc.
+	Cycle uint64
+
+	Perf  PerfCounters
+	Debug DebugCounters
+
+	// SyscallEntry is the kernel entry point used when user code executes
+	// syscall. Zero means syscall faults (no kernel installed).
+	SyscallEntry uint64
+	// KPTI selects kernel page-table isolation: user mode then runs on
+	// UserAS with no kernel text mapped except the entry trampoline.
+	KPTI bool
+
+	// Noise injects stochastic cache perturbation, modeling the system
+	// call thrash and sibling-thread interference of Section 7.3.
+	Noise *NoiseSource
+
+	// Tracer, when non-nil, receives pipeline events (see trace.go).
+	Tracer Tracer
+
+	rng *rand.Rand
+
+	// syscallRet holds the user RIP+2 saved by syscall; kernel-mode
+	// syscall acts as sysret back to it.
+	syscallRet uint64
+
+	// lastFetchLine/lastUopLine dedupe per-line charges within the
+	// sequential stream; lastUopLineMissed remembers whether the current
+	// line came from the decoder rather than the µop cache.
+	lastFetchLine     uint64
+	lastUopLine       uint64
+	lastUopLineMissed bool
+}
+
+// New returns a machine with the given profile, physical memory size and
+// RNG seed. The address spaces start empty; callers (the kernel package or
+// tests) install mappings and code.
+func New(p *uarch.Profile, physBytes uint64, seed int64) *Machine {
+	rng := rand.New(rand.NewSource(seed))
+	phys := mem.NewPhysMem(physBytes)
+	as := mem.NewAddrSpace(phys)
+	m := &Machine{
+		Prof:     p,
+		Phys:     phys,
+		UserAS:   as,
+		KernelAS: as,
+		Hier: &cache.Hierarchy{
+			L1I:        cache.New(p.L1I, rng),
+			L1D:        cache.New(p.L1D, rng),
+			L2:         cache.New(p.L2, rng),
+			MemLatency: p.MemLatency,
+		},
+		Uop:  cache.New(p.UopCache, rng),
+		ITLB: mem.NewTLB(64, 8),
+		DTLB: mem.NewTLB(64, 8),
+		BTB:  btb.New(p.NewScheme(), p.BTBWays),
+		RSB:  btb.NewRSB(p.RSBDepth),
+		PHT:  btb.NewPHT(p.PHTBits),
+		BHB:  &btb.BHB{},
+		rng:  rng,
+	}
+	m.Noise = NewNoiseSource(m, rng)
+	m.lastFetchLine = ^uint64(0)
+	m.lastUopLine = ^uint64(0)
+	return m
+}
+
+// AS returns the active address space for the current privilege mode.
+func (m *Machine) AS() *mem.AddrSpace {
+	if m.Kernel {
+		return m.KernelAS
+	}
+	return m.UserAS
+}
+
+// RNG exposes the machine's deterministic random source for harness use.
+func (m *Machine) RNG() *rand.Rand { return m.rng }
+
+// tlbLatency charges a page-walk penalty on TLB miss.
+const tlbMissPenalty = 20
+
+// fetchLatency translates va for execution and charges I-TLB + I-cache
+// hierarchy timing for its line. It returns the physical address.
+func (m *Machine) fetchLatency(va uint64) (uint64, *mem.Fault) {
+	pa, f := m.AS().Translate(va, mem.AccessFetch, !m.Kernel)
+	if f != nil {
+		return 0, f
+	}
+	if !m.ITLB.Lookup(va) {
+		m.Cycle += tlbMissPenalty
+	}
+	m.Cycle += uint64(m.Hier.AccessFetch(pa))
+	return pa, nil
+}
+
+// dataAccess translates va for a load/store and charges D-TLB + D-cache
+// timing. kind is AccessRead or AccessWrite.
+func (m *Machine) dataAccess(va uint64, kind mem.AccessKind) (uint64, *mem.Fault) {
+	pa, f := m.AS().Translate(va, kind, !m.Kernel)
+	if f != nil {
+		return 0, f
+	}
+	if !m.DTLB.Lookup(va) {
+		m.Cycle += tlbMissPenalty
+	}
+	m.Cycle += uint64(m.Hier.AccessData(pa))
+	return pa, nil
+}
+
+// fetchBytes reads up to n instruction bytes at va for the decoder,
+// via the active translation, without charging timing (timing is charged
+// line-granularly by the caller).
+func (m *Machine) fetchBytes(va uint64, n int) ([]byte, *mem.Fault) {
+	buf := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		pa, f := m.AS().Translate(va+uint64(i), mem.AccessFetch, !m.Kernel)
+		if f != nil {
+			if i == 0 {
+				return nil, f
+			}
+			break // instruction may still decode from fewer bytes
+		}
+		buf = append(buf, m.Phys.Read8(pa))
+	}
+	return buf, nil
+}
+
+// --- Harness-side probing helpers -------------------------------------
+//
+// These give attack orchestration code (the Go side of an experiment) the
+// same observation power an attacker process has: timing its own fetches
+// and loads, and flushing its own lines. They go through the same TLB,
+// cache and clock paths as simulated code, just without the interpreter
+// overhead of running a probe loop instruction by instruction.
+
+// TimedFetch performs a user-mode instruction fetch of va and returns its
+// latency in cycles (the Prime+Probe / Evict+Time primitive on the
+// I-cache). Unmapped or non-executable targets return ok=false.
+func (m *Machine) TimedFetch(va uint64) (int, bool) {
+	pa, f := m.AS().Translate(va, mem.AccessFetch, !m.Kernel)
+	if f != nil {
+		return 0, false
+	}
+	lat := 0
+	if !m.ITLB.Lookup(va) {
+		lat += tlbMissPenalty
+	}
+	lat += m.Hier.AccessFetch(pa)
+	m.Cycle += uint64(lat)
+	return lat, true
+}
+
+// TimedLoad performs a user-mode data load of va and returns its latency
+// in cycles (Prime+Probe / Flush+Reload on the data side).
+func (m *Machine) TimedLoad(va uint64) (int, bool) {
+	pa, f := m.AS().Translate(va, mem.AccessRead, !m.Kernel)
+	if f != nil {
+		return 0, false
+	}
+	lat := 0
+	if !m.DTLB.Lookup(va) {
+		lat += tlbMissPenalty
+	}
+	lat += m.Hier.AccessData(pa)
+	m.Cycle += uint64(lat)
+	return lat, true
+}
+
+// FlushVA removes the line containing va from all cache levels (clflush
+// from the harness). It requires a user-accessible mapping, like the real
+// instruction.
+func (m *Machine) FlushVA(va uint64) bool {
+	pa, f := m.AS().Translate(va, mem.AccessRead, !m.Kernel)
+	if f != nil {
+		return false
+	}
+	m.Hier.FlushLine(pa)
+	m.Cycle += 40
+	return true
+}
+
+// WriteMSRSuppressBPOnNonBr sets the SuppressBPOnNonBr bit (MSR
+// 0xC00110E3). It reports whether the part supports it (not on Zen 1,
+// Section 8.1).
+func (m *Machine) WriteMSRSuppressBPOnNonBr(on bool) bool {
+	if !m.Prof.SupportsSuppressBPOnNonBr {
+		return false
+	}
+	m.MSR.SuppressBPOnNonBr = on
+	return true
+}
+
+// WriteMSRAutoIBRS enables or disables AutoIBRS; supported on Zen 4 only.
+func (m *Machine) WriteMSRAutoIBRS(on bool) bool {
+	if !m.Prof.SupportsAutoIBRS {
+		return false
+	}
+	m.MSR.AutoIBRS = on
+	return true
+}
+
+// IBPB flushes all branch predictor state (the strong interpretation of
+// Section 8.2 in which IBPB removes all prediction types).
+func (m *Machine) IBPB() {
+	m.BTB.FlushAll()
+	m.RSB.Clear()
+	m.BHB.Clear()
+}
+
+// ResetPerf zeroes the attacker-visible counters.
+func (m *Machine) ResetPerf() { m.Perf = PerfCounters{} }
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine(%s, rip=%#x, kernel=%v, cycle=%d)",
+		m.Prof, m.RIP, m.Kernel, m.Cycle)
+}

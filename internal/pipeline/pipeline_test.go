@@ -1,0 +1,725 @@
+package pipeline
+
+import (
+	"testing"
+
+	"phantom/internal/btb"
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// testPA hands out physical backing for test mappings.
+var testPA = struct{ next uint64 }{next: 0x1000000}
+
+func allocPA(n uint64) uint64 {
+	pa := testPA.next
+	testPA.next += (n + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	return pa
+}
+
+func newTestMachine(t *testing.T, p *uarch.Profile) *Machine {
+	t.Helper()
+	m := New(p, 1<<30, 1)
+	m.Noise.Level = 0 // deterministic for unit tests
+	return m
+}
+
+// installCode maps user r-x pages covering the assembler's output and
+// writes the bytes.
+func installCode(t *testing.T, m *Machine, a *isa.Assembler) {
+	t.Helper()
+	installBlob(t, m, a.Base(), a.MustBytes(), mem.PermRead|mem.PermExec|mem.PermUser)
+}
+
+func installBlob(t *testing.T, m *Machine, va uint64, blob []byte, perm mem.Perm) {
+	t.Helper()
+	base := va &^ (mem.PageSize - 1)
+	end := (va + uint64(len(blob)) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if err := m.UserAS.Map(base, allocPA(end-base), end-base, perm); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UserAS.WriteBytes(va, blob); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// installData maps a user rw page at va.
+func installData(t *testing.T, m *Machine, va, size uint64) {
+	t.Helper()
+	base := va &^ (mem.PageSize - 1)
+	end := (va + size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	if err := m.UserAS.Map(base, allocPA(end-base), end-base, mem.PermRead|mem.PermWrite|mem.PermUser); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func paOf(t *testing.T, m *Machine, va uint64) uint64 {
+	t.Helper()
+	pa, f := m.UserAS.Translate(va, mem.AccessRead, false)
+	if f != nil {
+		t.Fatalf("translate %#x: %v", va, f)
+	}
+	return pa
+}
+
+func TestArithmeticAndHalt(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RAX, 40)
+	a.AluImm(isa.AluAdd, isa.RAX, 2)
+	a.MovImm(isa.RBX, 10)
+	a.AddReg(isa.RAX, isa.RBX)
+	a.Shl(isa.RAX, 1)
+	a.Hlt()
+	installCode(t, m, a)
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if m.Regs[isa.RAX] != (40+2+10)<<1 {
+		t.Fatalf("rax = %d", m.Regs[isa.RAX])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RSI, 0x600000)
+	a.MovImm(isa.RAX, 0xdeadbeef)
+	a.Store(isa.RSI, 0x10, isa.RAX)
+	a.Load(isa.RBX, isa.RSI, 0x10)
+	a.Hlt()
+	installCode(t, m, a)
+	installData(t, m, 0x600000, mem.PageSize)
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if m.Regs[isa.RBX] != 0xdeadbeef {
+		t.Fatalf("rbx = %#x", m.Regs[isa.RBX])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RSP, 0x700000+0x800)
+	a.Call("fn")
+	a.MovImm(isa.RBX, 7) // executes after return
+	a.Hlt()
+	a.Label("fn")
+	a.MovImm(isa.RAX, 5)
+	a.Ret()
+	installCode(t, m, a)
+	installData(t, m, 0x700000, mem.PageSize)
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if m.Regs[isa.RAX] != 5 || m.Regs[isa.RBX] != 7 {
+		t.Fatalf("rax=%d rbx=%d", m.Regs[isa.RAX], m.Regs[isa.RBX])
+	}
+}
+
+func TestConditionalBranch(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	a := isa.NewAssembler(0x400000)
+	// Loop: rcx counts 5 down to 0, rax accumulates.
+	a.MovImm(isa.RCX, 5)
+	a.MovImm(isa.RAX, 0)
+	a.Label("loop")
+	a.AluImm(isa.AluAdd, isa.RAX, 3)
+	a.AluImm(isa.AluSub, isa.RCX, 1)
+	a.AluImm(isa.AluCmp, isa.RCX, 0)
+	a.Jcc(isa.CondNZ, "loop")
+	a.Hlt()
+	installCode(t, m, a)
+	res := m.RunAt(0x400000, 1000)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if m.Regs[isa.RAX] != 15 {
+		t.Fatalf("rax = %d", m.Regs[isa.RAX])
+	}
+}
+
+func TestRdtscMonotonic(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	a := isa.NewAssembler(0x400000)
+	a.Rdtsc()
+	a.MovReg(isa.R8, isa.RAX)
+	a.MovImm(isa.RSI, 0x600000)
+	a.Load(isa.RBX, isa.RSI, 0) // something that takes time
+	a.Rdtsc()
+	a.Hlt()
+	installCode(t, m, a)
+	installData(t, m, 0x600000, mem.PageSize)
+	m.RunAt(0x400000, 100)
+	if m.Regs[isa.RAX] <= m.Regs[isa.R8] {
+		t.Fatalf("rdtsc not monotonic: %d then %d", m.Regs[isa.R8], m.Regs[isa.RAX])
+	}
+}
+
+func TestUserFaultsOnKernelAccess(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	kva := uint64(0xffffffff81000000)
+	if err := m.UserAS.Map(kva, allocPA(mem.PageSize), mem.PageSize, mem.PermRead|mem.PermExec); err != nil {
+		t.Fatal(err)
+	}
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RDI, kva)
+	a.JmpReg(isa.RDI)
+	installCode(t, m, a)
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopFault || res.Fault == nil || res.Fault.VA != kva {
+		t.Fatalf("run: %v", res)
+	}
+	// The BTB learned the branch before the fault — the training trick of
+	// Section 6.2.
+	if _, ok := m.BTB.Lookup(0x400000+10, false); !ok {
+		t.Fatal("faulting branch did not train the BTB")
+	}
+}
+
+// phantomFixture lays out the Figure 4 experiment: training source A with
+// a jmp* to C, victim B (aliased with A) holding nops, and a signal
+// gadget C that loads from a probe buffer.
+type phantomFixture struct {
+	m                *Machine
+	aAddr, bAddr     uint64
+	cAddr            uint64
+	probeVA          uint64
+	cPA, probePA     uint64
+	victimHalt       uint64
+	trainEntry       uint64
+	victimEntryLabel string
+}
+
+func buildPhantomFixture(t *testing.T, p *uarch.Profile) *phantomFixture {
+	t.Helper()
+	m := newTestMachine(t, p)
+	maskVal, ok := btb.SamePrivAliasMask(m.BTB.Scheme())
+	if !ok {
+		t.Fatal("no same-priv alias mask")
+	}
+
+	aAddr := uint64(0x400000) + 0x6a0
+	bAddr := aAddr ^ maskVal
+	cAddr := uint64(0x7f0000) + 0xac0
+	probeVA := uint64(0x600000)
+
+	// Training snippet: jmp* rdi at aAddr (rdi = C).
+	ta := isa.NewAssembler(aAddr)
+	ta.JmpReg(isa.RDI)
+	installCode(t, m, ta)
+
+	// Victim snippet: nops then hlt at the aliased address.
+	va := isa.NewAssembler(bAddr)
+	va.NopSled(16)
+	va.Hlt()
+	installCode(t, m, va)
+
+	// Signal gadget C: one load from the probe buffer, then halt.
+	ca := isa.NewAssembler(cAddr)
+	ca.Load(isa.RAX, isa.R8, 0)
+	ca.Hlt()
+	installCode(t, m, ca)
+
+	installData(t, m, probeVA, mem.PageSize)
+
+	f := &phantomFixture{
+		m: m, aAddr: aAddr, bAddr: bAddr, cAddr: cAddr, probeVA: probeVA,
+		cPA:     paOf(t, m, cAddr),
+		probePA: paOf(t, m, probeVA),
+	}
+	return f
+}
+
+// train architecturally executes the jmp* at A a few times.
+func (f *phantomFixture) train(t *testing.T, times int) {
+	t.Helper()
+	for i := 0; i < times; i++ {
+		f.m.Regs[isa.RDI] = f.cAddr
+		f.m.Regs[isa.R8] = f.probeVA
+		res := f.m.RunAt(f.aAddr, 100)
+		if res.Reason != StopHalt {
+			t.Fatalf("training run: %v", res)
+		}
+	}
+}
+
+// flushSignals clears the observation state.
+func (f *phantomFixture) flushSignals() {
+	f.m.Hier.FlushLine(f.cPA)
+	f.m.Hier.FlushLine(f.probePA)
+	f.m.Uop.Flush(f.cAddr)
+}
+
+// runVictim executes the victim snippet with R8 pointing at the probe.
+func (f *phantomFixture) runVictim(t *testing.T) {
+	t.Helper()
+	f.m.Regs[isa.R8] = f.probeVA
+	res := f.m.RunAt(f.bAddr, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("victim run: %v", res)
+	}
+}
+
+func (f *phantomFixture) signals() (fetch, decode, exec bool) {
+	return f.m.Hier.L1I.Present(f.cPA) || f.m.Hier.L2.Present(f.cPA),
+		f.m.Uop.Present(f.cAddr),
+		f.m.Hier.L1D.Present(f.probePA) || f.m.Hier.L2.Present(f.probePA)
+}
+
+func TestPhantomReachPerMicroarchitecture(t *testing.T) {
+	cases := []struct {
+		prof                *uarch.Profile
+		fetch, decode, exec bool
+	}{
+		{uarch.Zen1(), true, true, true},
+		{uarch.Zen2(), true, true, true},
+		{uarch.Zen3(), true, true, false},
+		{uarch.Zen4(), true, true, false},
+		{uarch.Intel9(), true, true, false},
+		{uarch.Intel13(), true, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.prof.Name, func(t *testing.T) {
+			f := buildPhantomFixture(t, c.prof)
+			f.train(t, 3)
+			f.flushSignals()
+			f.runVictim(t)
+			fetch, decode, exec := f.signals()
+			if fetch != c.fetch || decode != c.decode || exec != c.exec {
+				t.Fatalf("signals IF=%v ID=%v EX=%v, want %v/%v/%v",
+					fetch, decode, exec, c.fetch, c.decode, c.exec)
+			}
+			if f.m.Debug.FrontendResteers == 0 {
+				t.Fatal("no frontend resteer recorded")
+			}
+		})
+	}
+}
+
+func TestPhantomDoesNotCorruptArchitecturalState(t *testing.T) {
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.train(t, 3)
+	f.flushSignals()
+	f.m.Regs[isa.RAX] = 0x1111
+	f.runVictim(t)
+	// The wrong-path load wrote the *transient* RAX only.
+	if f.m.Regs[isa.RAX] != 0x1111 {
+		t.Fatalf("architectural RAX corrupted by speculation: %#x", f.m.Regs[isa.RAX])
+	}
+}
+
+func TestPhantomNoSignalWithoutTraining(t *testing.T) {
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.flushSignals()
+	f.runVictim(t)
+	fetch, decode, exec := f.signals()
+	if fetch || decode || exec {
+		t.Fatalf("signals without training: IF=%v ID=%v EX=%v", fetch, decode, exec)
+	}
+}
+
+func TestPhantomNoSignalWithoutAliasing(t *testing.T) {
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.train(t, 3)
+	f.flushSignals()
+	// Run a non-aliased victim: same code shape at an unrelated address.
+	other := uint64(0x440000) + 0x120
+	va := isa.NewAssembler(other)
+	va.NopSled(16)
+	va.Hlt()
+	installCode(t, f.m, va)
+	f.m.Regs[isa.R8] = f.probeVA
+	res := f.m.RunAt(other, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("victim run: %v", res)
+	}
+	fetch, decode, exec := f.signals()
+	if fetch || decode || exec {
+		t.Fatalf("non-aliased victim produced signals: IF=%v ID=%v EX=%v", fetch, decode, exec)
+	}
+}
+
+func TestSuppressBPOnNonBrStopsExecOnly(t *testing.T) {
+	// Observation O4: the MSR stops transient execution at non-branch
+	// victims but not transient fetch or decode.
+	f := buildPhantomFixture(t, uarch.Zen2())
+	if !f.m.WriteMSRSuppressBPOnNonBr(true) {
+		t.Fatal("Zen2 must support SuppressBPOnNonBr")
+	}
+	f.train(t, 3)
+	f.flushSignals()
+	f.runVictim(t)
+	fetch, decode, exec := f.signals()
+	if !fetch || !decode {
+		t.Fatalf("IF/ID suppressed: IF=%v ID=%v", fetch, decode)
+	}
+	if exec {
+		t.Fatal("transient execution survived SuppressBPOnNonBr")
+	}
+}
+
+func TestSuppressBPOnNonBrUnsupportedOnZen1(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen1())
+	if m.WriteMSRSuppressBPOnNonBr(true) {
+		t.Fatal("Zen1 should not support SuppressBPOnNonBr (Section 8.1)")
+	}
+}
+
+func TestSuppressBPOnNonBrLeavesBranchVictimsExposed(t *testing.T) {
+	// P2/P3 still work on branch-instruction victims with the MSR set
+	// (Section 6.3): confuse a direct jmp victim with a jmp* prediction.
+	p := uarch.Zen2()
+	m := newTestMachine(t, p)
+	maskVal, _ := btb.SamePrivAliasMask(m.BTB.Scheme())
+
+	aAddr := uint64(0x400000) + 0x6a0
+	bAddr := aAddr ^ maskVal
+	cAddr := uint64(0x7f0000) + 0xac0
+	probeVA := uint64(0x600000)
+
+	ta := isa.NewAssembler(aAddr)
+	ta.JmpReg(isa.RDI)
+	installCode(t, m, ta)
+
+	// Victim is a *branch* (direct jmp to its own hlt).
+	va := isa.NewAssembler(bAddr)
+	va.Jmp("out")
+	va.Label("out")
+	va.Hlt()
+	installCode(t, m, va)
+
+	ca := isa.NewAssembler(cAddr)
+	ca.Load(isa.RAX, isa.R8, 0)
+	ca.Hlt()
+	installCode(t, m, ca)
+	installData(t, m, probeVA, mem.PageSize)
+
+	m.WriteMSRSuppressBPOnNonBr(true)
+
+	for i := 0; i < 3; i++ {
+		m.Regs[isa.RDI] = cAddr
+		m.Regs[isa.R8] = probeVA
+		if res := m.RunAt(aAddr, 100); res.Reason != StopHalt {
+			t.Fatalf("training: %v", res)
+		}
+	}
+	probePA := paOf(t, m, probeVA)
+	m.Hier.FlushLine(probePA)
+	m.Regs[isa.R8] = probeVA
+	if res := m.RunAt(bAddr, 100); res.Reason != StopHalt {
+		t.Fatalf("victim: %v", res)
+	}
+	if !m.Hier.L1D.Present(probePA) && !m.Hier.L2.Present(probePA) {
+		t.Fatal("branch victim did not transiently execute with MSR set")
+	}
+}
+
+func TestDirectJmpTrainingShiftsTarget(t *testing.T) {
+	// Figure 5A: training with a direct jmp makes the victim speculate to
+	// C' = B + (C - A), not to C.
+	p := uarch.Zen2()
+	m := newTestMachine(t, p)
+	maskVal, _ := btb.SamePrivAliasMask(m.BTB.Scheme())
+
+	aAddr := uint64(0x400000) + 0x6a0
+	bAddr := aAddr ^ maskVal
+	delta := uint64(0x20000)
+	cAddr := aAddr + delta
+	cPrime := bAddr + delta
+
+	ta := isa.NewAssembler(aAddr)
+	ta.JmpTo(cAddr)
+	installCode(t, m, ta)
+
+	ca := isa.NewAssembler(cAddr)
+	ca.Hlt()
+	installCode(t, m, ca)
+
+	// C' exists and is executable (mapped), as the experiment requires.
+	cp := isa.NewAssembler(cPrime)
+	cp.NopSled(8)
+	cp.Hlt()
+	installCode(t, m, cp)
+
+	va := isa.NewAssembler(bAddr)
+	va.NopSled(16)
+	va.Hlt()
+	installCode(t, m, va)
+
+	for i := 0; i < 3; i++ {
+		if res := m.RunAt(aAddr, 100); res.Reason != StopHalt {
+			t.Fatalf("training: %v", res)
+		}
+	}
+	cPA := paOf(t, m, cAddr)
+	cpPA := paOf(t, m, cPrime)
+	m.Hier.FlushLine(cPA)
+	m.Hier.FlushLine(cpPA)
+	if res := m.RunAt(bAddr, 100); res.Reason != StopHalt {
+		t.Fatalf("victim: %v", res)
+	}
+	if m.Hier.L1I.Present(cPA) {
+		t.Fatal("victim speculated to C (absolute), not PC-relative")
+	}
+	if !m.Hier.L1I.Present(cpPA) {
+		t.Fatal("no transient fetch at C' = B + (C - A)")
+	}
+}
+
+func TestNXTargetLeavesNoFetchSignal(t *testing.T) {
+	// The P1/P2 asymmetry: a speculative fetch of a mapped but
+	// non-executable target dies without filling the I-cache.
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.train(t, 3)
+	// Remap C as non-executable.
+	if !f.m.UserAS.SetPerm(f.cAddr, mem.PermRead|mem.PermUser) {
+		t.Fatal("SetPerm failed")
+	}
+	f.flushSignals()
+	f.runVictim(t)
+	fetch, _, _ := f.signals()
+	if fetch {
+		t.Fatal("NX target filled the I-cache")
+	}
+}
+
+func TestSyscallRoundTrip(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	// Kernel handler: set RBX, return via sysret (kernel-mode syscall).
+	kEntry := uint64(0xffffffff81000000)
+	ka := isa.NewAssembler(kEntry)
+	ka.MovImm(isa.RBX, 0x99)
+	ka.Syscall() // sysret
+	installBlob(t, m, kEntry, ka.MustBytes(), mem.PermRead|mem.PermExec)
+	m.SyscallEntry = kEntry
+
+	ua := isa.NewAssembler(0x400000)
+	ua.Syscall()
+	ua.MovImm(isa.RCX, 1) // proves user execution resumed
+	ua.Hlt()
+	installCode(t, m, ua)
+
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if m.Regs[isa.RBX] != 0x99 || m.Regs[isa.RCX] != 1 {
+		t.Fatalf("rbx=%#x rcx=%#x", m.Regs[isa.RBX], m.Regs[isa.RCX])
+	}
+	if m.Kernel {
+		t.Fatal("still in kernel mode after sysret")
+	}
+	if m.Debug.Syscalls != 1 {
+		t.Fatalf("syscalls = %d", m.Debug.Syscalls)
+	}
+}
+
+func TestAutoIBRSLeavesIFOnly(t *testing.T) {
+	// Observation O5: with AutoIBRS, a user-trained prediction at a
+	// kernel victim still triggers the instruction fetch of the target,
+	// but no decode and no steering.
+	p := uarch.Zen4()
+	m := newTestMachine(t, p)
+	if !m.WriteMSRAutoIBRS(true) {
+		t.Fatal("Zen4 must support AutoIBRS")
+	}
+
+	// Kernel victim: nops + sysret at kEntry.
+	kEntry := uint64(0xffffffff81000000) + 0x6a0
+	ka := isa.NewAssembler(kEntry)
+	ka.NopSled(16)
+	ka.Syscall() // sysret
+	installBlob(t, m, kEntry, ka.MustBytes(), mem.PermRead|mem.PermExec)
+	m.SyscallEntry = kEntry
+
+	// Kernel target T: mapped executable kernel code.
+	tAddr := uint64(0xffffffff81200000) + 0xac0
+	tb := isa.NewAssembler(tAddr)
+	tb.NopSled(8)
+	tb.Ret()
+	installBlob(t, m, tAddr, tb.MustBytes(), mem.PermRead|mem.PermExec)
+
+	// User training source aliased with the kernel victim.
+	maskVal, ok := btb.CrossPrivAliasMask(m.BTB.Scheme())
+	if !ok {
+		t.Fatal("no cross-priv mask on Zen4 scheme")
+	}
+	uAddr := kEntry ^ maskVal
+	ua := isa.NewAssembler(uAddr)
+	ua.JmpReg(isa.RDI)
+	installCode(t, m, ua)
+
+	// Train: user jmp* to the kernel target faults; catch and repeat.
+	for i := 0; i < 3; i++ {
+		m.Regs[isa.RDI] = tAddr
+		res := m.RunAt(uAddr, 10)
+		if res.Reason != StopFault {
+			t.Fatalf("training expected fault, got %v", res)
+		}
+	}
+
+	tPA, f := m.KernelAS.Translate(tAddr, mem.AccessRead, false)
+	if f != nil {
+		t.Fatal(f)
+	}
+	m.Hier.FlushLine(tPA)
+	m.Uop.Flush(tAddr)
+
+	// Victim: user program issues the syscall; the kernel victim executes.
+	sa := isa.NewAssembler(0x480000)
+	sa.Syscall()
+	sa.Hlt()
+	installCode(t, m, sa)
+	if res := m.RunAt(0x480000, 200); res.Reason != StopHalt {
+		t.Fatalf("victim run: %v", res)
+	}
+
+	if !m.Hier.L1I.Present(tPA) && !m.Hier.L2.Present(tPA) {
+		t.Fatal("AutoIBRS blocked the IF prefetch; O5 not reproduced")
+	}
+	if m.Uop.Present(tAddr) {
+		t.Fatal("AutoIBRS allowed decode of the rejected prediction")
+	}
+	if m.Debug.PrefetchOnRejectedPrediction == 0 {
+		t.Fatal("no rejected-prediction prefetch recorded")
+	}
+
+	// Control: with AutoIBRS off, the prediction is used (full phantom).
+	m.MSR.AutoIBRS = false
+	m.Hier.FlushLine(tPA)
+	m.Uop.Flush(tAddr)
+	if res := m.RunAt(0x480000, 200); res.Reason != StopHalt {
+		t.Fatalf("control run: %v", res)
+	}
+	if !m.Uop.Present(tAddr) {
+		t.Fatal("without AutoIBRS the kernel victim should decode the target")
+	}
+}
+
+func TestStraightLineSpeculationOnRet(t *testing.T) {
+	// Table 1 footnote c: training non-branch at a ret victim (i.e. no
+	// prediction, empty RSB) makes AMD parts speculate past the return.
+	m := newTestMachine(t, uarch.Zen2())
+	probeVA := uint64(0x600000)
+	installData(t, m, probeVA, mem.PageSize)
+
+	a := isa.NewAssembler(0x400000)
+	a.MovImm(isa.RSP, 0x700000+0x800)
+	a.MovImm(isa.R9, 0x400800) // manual return target
+	a.Push(isa.R9)
+	a.Ret()
+	// Straight-line bytes after the ret: a load of the probe buffer.
+	a.Load(isa.RAX, isa.R8, 0)
+	a.Hlt()
+	a.Org(0x400800)
+	a.Hlt()
+	installCode(t, m, a)
+	installData(t, m, 0x700000, mem.PageSize)
+
+	probePA := paOf(t, m, probeVA)
+	m.Hier.FlushLine(probePA)
+	m.Regs[isa.R8] = probeVA
+	res := m.RunAt(0x400000, 100)
+	if res.Reason != StopHalt {
+		t.Fatalf("run: %v", res)
+	}
+	if !m.Hier.L1D.Present(probePA) && !m.Hier.L2.Present(probePA) {
+		t.Fatal("no straight-line speculation signal on Zen2")
+	}
+
+	// Intel profile: no SLS.
+	m2 := newTestMachine(t, uarch.Intel13())
+	installCode(t, m2, a)
+	installData(t, m2, 0x700000, mem.PageSize)
+	installData(t, m2, probeVA, mem.PageSize)
+	probePA2 := paOf(t, m2, probeVA)
+	m2.Hier.FlushLine(probePA2)
+	m2.Regs[isa.R8] = probeVA
+	if res := m2.RunAt(0x400000, 100); res.Reason != StopHalt {
+		t.Fatalf("intel run: %v", res)
+	}
+	if m2.Hier.L1D.Present(probePA2) || m2.Hier.L2.Present(probePA2) {
+		t.Fatal("Intel profile shows straight-line speculation")
+	}
+}
+
+func TestSpectreConditionalWindow(t *testing.T) {
+	// Classic Spectre-PHT: train a jcc taken, then flip the condition;
+	// the wrong path (taken side) must leave a D-cache footprint on every
+	// profile (backend windows are long everywhere).
+	for _, p := range []*uarch.Profile{uarch.Zen2(), uarch.Zen4(), uarch.Intel13()} {
+		t.Run(p.Name, func(t *testing.T) {
+			m := newTestMachine(t, p)
+			probeVA := uint64(0x600000)
+			installData(t, m, probeVA, mem.PageSize)
+
+			a := isa.NewAssembler(0x400000)
+			a.AluImm(isa.AluCmp, isa.RCX, 10) // CF = rcx < 10
+			a.Jcc(isa.CondB, "body")
+			a.Hlt()
+			a.Label("body")
+			a.Load(isa.RAX, isa.R8, 0)
+			a.Hlt()
+			installCode(t, m, a)
+
+			probePA := paOf(t, m, probeVA)
+			m.Regs[isa.R8] = probeVA
+
+			// Train taken.
+			for i := 0; i < 4; i++ {
+				m.Regs[isa.RCX] = 1
+				if res := m.RunAt(0x400000, 100); res.Reason != StopHalt {
+					t.Fatalf("training: %v", res)
+				}
+			}
+			m.Hier.FlushLine(probePA)
+			// Victim: condition now false; branch predicted taken.
+			m.Regs[isa.RCX] = 50
+			if res := m.RunAt(0x400000, 100); res.Reason != StopHalt {
+				t.Fatalf("victim: %v", res)
+			}
+			if !m.Hier.L1D.Present(probePA) && !m.Hier.L2.Present(probePA) {
+				t.Fatal("no Spectre-PHT wrong-path load")
+			}
+			if m.Debug.BackendResteers == 0 {
+				t.Fatal("no backend resteer recorded")
+			}
+		})
+	}
+}
+
+func TestIBPBBlocksPhantom(t *testing.T) {
+	f := buildPhantomFixture(t, uarch.Zen2())
+	f.train(t, 3)
+	f.m.IBPB()
+	f.flushSignals()
+	f.runVictim(t)
+	fetch, decode, exec := f.signals()
+	if fetch || decode || exec {
+		t.Fatalf("IBPB did not flush predictions: IF=%v ID=%v EX=%v", fetch, decode, exec)
+	}
+}
+
+func TestTimedProbesDistinguishHitMiss(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	installData(t, m, 0x600000, mem.PageSize)
+	cold, ok := m.TimedLoad(0x600000)
+	if !ok {
+		t.Fatal("TimedLoad failed")
+	}
+	warm, _ := m.TimedLoad(0x600000)
+	if cold <= warm {
+		t.Fatalf("cold=%d warm=%d", cold, warm)
+	}
+	m.FlushVA(0x600000)
+	reflushed, _ := m.TimedLoad(0x600000)
+	if reflushed <= warm {
+		t.Fatalf("flush did not slow reload: %d vs warm %d", reflushed, warm)
+	}
+}

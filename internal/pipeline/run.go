@@ -1,0 +1,187 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"phantom/internal/btb"
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// StopReason says why Run returned.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHalt  StopReason = iota // hlt retired
+	StopFault                   // page fault (RIP points at the faulting instruction)
+	StopTrap                    // int3 or undecodable instruction
+	StopLimit                   // instruction budget exhausted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopHalt:
+		return "halt"
+	case StopFault:
+		return "fault"
+	case StopTrap:
+		return "trap"
+	case StopLimit:
+		return "limit"
+	}
+	return "stop?"
+}
+
+// RunResult reports how a Run ended.
+type RunResult struct {
+	Reason StopReason
+	Fault  *mem.Fault // set when Reason == StopFault
+	Steps  int        // architectural instructions retired
+}
+
+func (r RunResult) String() string {
+	if r.Fault != nil {
+		return fmt.Sprintf("%v after %d steps (%v)", r.Reason, r.Steps, r.Fault)
+	}
+	return fmt.Sprintf("%v after %d steps", r.Reason, r.Steps)
+}
+
+// Run interprets architectural instructions starting at RIP until a halt,
+// trap, fault, or the step limit. On fault, RIP still points at the
+// faulting instruction so a harness "signal handler" can redirect and
+// resume — the mechanism user-mode training code uses when it branches
+// into the kernel and catches the page fault (Section 6.2).
+func (m *Machine) Run(limit int) RunResult {
+	for steps := 0; steps < limit; steps++ {
+		if stop := m.step(); stop != nil {
+			stop.Steps = steps + 1
+			return *stop
+		}
+		m.Noise.Tick()
+	}
+	return RunResult{Reason: StopLimit, Steps: limit}
+}
+
+// RunAt sets RIP and runs.
+func (m *Machine) RunAt(entry uint64, limit int) RunResult {
+	m.RIP = entry
+	return m.Run(limit)
+}
+
+// step executes one architectural instruction; nil means continue.
+func (m *Machine) step() *RunResult {
+	va := m.RIP
+
+	// 1. Branch prediction unit: consulted with the fetch address, before
+	// the bytes at va are decoded (paper Section 1, "speculation before
+	// instruction decode"). The training instruction's class decides the
+	// prediction semantics.
+	pred, predHit := m.BTB.LookupBHB(va, m.Kernel, m.BHB.Value())
+	predUsable := predHit
+	if predHit {
+		m.emit(EvPredHit, va, pred.Target)
+	}
+	if predHit && m.MSR.AutoIBRS && pred.TrainedKernel != m.Kernel {
+		// AutoIBRS refuses to steer by a cross-privilege prediction, but
+		// the fetch of the predicted target has already been initiated —
+		// Observation O5: "AMD AutoIBRS does not prevent IF of cross
+		// privilege mode branch targets."
+		m.emit(EvPredRejected, va, pred.Target)
+		m.prefetchPredictedTarget(pred, va)
+		predUsable = false
+	}
+
+	// 2. Instruction fetch, charged per cache line.
+	if line := va &^ (lineSize - 1); line != m.lastFetchLine {
+		if _, f := m.fetchLatency(va); f != nil {
+			return m.fault(f)
+		}
+		m.lastFetchLine = line
+		m.emit(EvFetchLine, line, 0)
+	}
+	bytes, f := m.fetchBytes(va, 16)
+	if f != nil {
+		return m.fault(f)
+	}
+	in := isa.Decode(bytes)
+	if in.Op == isa.OpInvalid {
+		m.Debug.Faults++
+		return &RunResult{Reason: StopTrap}
+	}
+	if end := (va + uint64(in.Len) - 1) &^ (lineSize - 1); end != m.lastFetchLine {
+		if _, f := m.fetchLatency(va + uint64(in.Len) - 1); f != nil {
+			return m.fault(f)
+		}
+		m.lastFetchLine = end
+	}
+
+	// 3. Decode / µop cache, per line.
+	if uline := va &^ (lineSize - 1); uline != m.lastUopLine {
+		if hit, _, _ := m.Uop.Access(va); hit {
+			m.Perf.UopCacheHits++
+			m.lastUopLineMissed = false
+		} else {
+			m.Perf.UopCacheMisses++
+			m.lastUopLineMissed = true
+		}
+		m.lastUopLine = uline
+	}
+	m.Cycle++
+	m.Perf.Instructions++
+	m.Perf.BTBLookups++
+	if predHit {
+		m.Perf.BTBHits++
+		if m.MSR.WaitForDecode {
+			// The hypothetical Section 8.1 mitigation: every predicted
+			// steer waits for the source's decode, costing a bubble even
+			// on correct predictions.
+			m.Cycle += uarch.WaitForDecodeBubble
+		}
+		if m.MSR.SuppressBPOnNonBr && m.lastUopLineMissed {
+			// With the mitigation the frontend must wait for pre-decode
+			// branch-presence marker bits before consuming a prediction.
+			// The markers live alongside the decoded µops, so only lines
+			// that miss the µop cache pay the wait — the source of the
+			// sub-1% benchmark overhead measured in Section 6.3.
+			m.Cycle += 2
+		}
+	}
+
+	// 4. Reconcile prediction with the decoded instruction. Mispredictions
+	// spawn a bounded wrong-path episode and charge a resteer.
+	if predUsable {
+		m.reconcilePrediction(va, in, pred)
+	} else {
+		m.handleUnpredicted(va, in)
+	}
+
+	// 5. Execute architecturally.
+	m.Perf.Cycles = m.Cycle
+	return m.exec(va, in)
+}
+
+func (m *Machine) fault(f *mem.Fault) *RunResult {
+	m.Debug.Faults++
+	m.emit(EvFault, f.VA, 0)
+	return &RunResult{Reason: StopFault, Fault: f}
+}
+
+// prefetchPredictedTarget fills the I-cache line of a prediction whose use
+// was rejected by a mitigation. Only present+executable targets fill, as
+// with any instruction fetch.
+func (m *Machine) prefetchPredictedTarget(pred btb.Prediction, va uint64) {
+	target := pred.Target
+	if pred.Class == isa.BrRet {
+		t, ok := m.RSB.Peek()
+		if !ok {
+			return
+		}
+		target = t
+	}
+	if pa, f := m.AS().Translate(target, mem.AccessFetch, !m.Kernel); f == nil {
+		m.Hier.AccessFetch(pa)
+		m.Debug.PrefetchOnRejectedPrediction++
+	}
+}

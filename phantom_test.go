@@ -1,0 +1,553 @@
+package phantom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// reach finds a Table1 cell by kind names.
+func (t *Table1) reach(train, victim string) StageReach {
+	for _, row := range t.Cells {
+		for _, c := range row {
+			if c.Training == train && c.Victim == victim {
+				return c.Reach
+			}
+		}
+	}
+	return StageReach{}
+}
+
+func TestTable1Zen2FullReach(t *testing.T) {
+	tb, err := RunTable1(Zen2, Table1Options{Seed: 1, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O3: decoder-detectable mispredictions reach execute on Zen 1/2.
+	for _, train := range []string{"jmp*", "jmp", "jcc", "ret"} {
+		for _, victim := range []string{"jmp", "jcc", "non-branch"} {
+			if train == victim {
+				continue
+			}
+			r := tb.reach(train, victim)
+			if !r.EX {
+				t.Errorf("zen2 (%s,%s) = %v, want EX", train, victim, r)
+			}
+		}
+	}
+	// Retbleed cell: jmp* training on a ret victim.
+	if r := tb.reach("jmp*", "ret"); !r.EX {
+		t.Errorf("zen2 (jmp*,ret) = %v, want EX", r)
+	}
+	// Footnote c: straight-line speculation past an unpredicted return.
+	if r := tb.reach("non-branch", "ret"); !r.EX {
+		t.Errorf("zen2 SLS cell = %v, want EX", r)
+	}
+}
+
+func TestTable1Zen4DecodeOnly(t *testing.T) {
+	tb, err := RunTable1(Zen4, Table1Options{Seed: 2, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phantom on Zen 3/4 reaches fetch and decode but never execute.
+	for _, train := range []string{"jmp*", "jmp", "jcc", "ret"} {
+		for _, victim := range []string{"jmp*", "jmp", "jcc", "ret", "non-branch"} {
+			if train == victim {
+				continue
+			}
+			r := tb.reach(train, victim)
+			if r.EX {
+				t.Errorf("zen4 (%s,%s) reached EX", train, victim)
+			}
+			if victim != "jmp*" && (!r.IF || !r.ID) {
+				t.Errorf("zen4 (%s,%s) = %v, want IF+ID", train, victim, r)
+			}
+		}
+	}
+	// SLS resolves at execute, not at decode, so it still reaches EX.
+	if r := tb.reach("non-branch", "ret"); !r.EX {
+		t.Errorf("zen4 SLS cell = %v, want EX", r)
+	}
+}
+
+func TestTable1IntelAnomalies(t *testing.T) {
+	tb9, err := RunTable1(Intel9, Table1Options{Seed: 3, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9th gen: no observable speculation at jmp* victims.
+	for _, train := range []string{"jmp", "jcc"} {
+		if r := tb9.reach(train, "jmp*"); r.IF || r.ID || r.EX {
+			t.Errorf("intel9 (%s,jmp*) = %v, want none", train, r)
+		}
+	}
+	// No straight-line speculation on Intel.
+	if r := tb9.reach("non-branch", "ret"); r.EX {
+		t.Errorf("intel9 SLS cell = %v, want no EX", r)
+	}
+
+	tb12, err := RunTable1(Intel12, Table1Options{Seed: 4, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12th gen P-cores: jmp* victims fetch but do not decode.
+	if r := tb12.reach("jmp", "jmp*"); !r.IF || r.ID {
+		t.Errorf("intel12 (jmp,jmp*) = %v, want IF only", r)
+	}
+}
+
+func TestTable1ObservationsO1O2(t *testing.T) {
+	// O1/O2 hold on every modeled part: some evaluated cell shows IF and
+	// ID on each microarchitecture.
+	for _, arch := range AllMicroarchs() {
+		tb, err := RunTable1(arch, Table1Options{Seed: 5, Trials: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		anyIF, anyID := false, false
+		for _, row := range tb.Cells {
+			for _, c := range row {
+				if !c.Excluded {
+					anyIF = anyIF || c.Reach.IF
+					anyID = anyID || c.Reach.ID
+				}
+			}
+		}
+		if !anyIF || !anyID {
+			t.Errorf("%s: O1/O2 violated (IF=%v ID=%v)", arch, anyIF, anyID)
+		}
+	}
+}
+
+func TestTable1UnderNoise(t *testing.T) {
+	// The channels must survive calibrated noise via the negative-test
+	// methodology.
+	tb, err := RunTable1(Zen2, Table1Options{Seed: 6, Trials: 8, Noise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := tb.reach("jmp*", "non-branch"); !r.EX {
+		t.Errorf("noisy zen2 (jmp*,non-branch) = %v, want EX", r)
+	}
+}
+
+func TestFig6SignalOnlyAtSeriesOffset(t *testing.T) {
+	for _, arch := range []Microarch{Zen2, Zen4} {
+		s, err := RunFig6(arch, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range s.Points {
+			sameSet := p.Offset>>6 == s.SeriesOffset>>6
+			if sameSet && p.Misses == 0 {
+				t.Errorf("%s: no misses at matching offset %#x", arch, p.Offset)
+			}
+			if !sameSet && p.Misses != 0 {
+				t.Errorf("%s: spurious misses at offset %#x", arch, p.Offset)
+			}
+		}
+	}
+}
+
+func TestFig7RecoversPublishedFunctions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("collision sampling is slow")
+	}
+	f, err := RunFig7(Zen3, Fig7Options{Seed: 9, BruteBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force must fail on Zen 3 (needs 12-bit flips).
+	if f.BruteForceFound {
+		t.Error("brute force found a small-flip collision on Zen3")
+	}
+	// All 12 published functions must be among the recovered ones.
+	published := []string{
+		"b47 ⊕ b35 ⊕ b23",
+		"b47 ⊕ b36 ⊕ b24 ⊕ b12",
+		"b47 ⊕ b37 ⊕ b25 ⊕ b13",
+		"b47 ⊕ b38 ⊕ b26 ⊕ b14",
+		"b47 ⊕ b39 ⊕ b26 ⊕ b13",
+		"b47 ⊕ b39 ⊕ b27 ⊕ b15",
+		"b47 ⊕ b40 ⊕ b28 ⊕ b16",
+		"b47 ⊕ b41 ⊕ b29 ⊕ b17",
+		"b47 ⊕ b42 ⊕ b30 ⊕ b18",
+		"b47 ⊕ b43 ⊕ b31 ⊕ b19",
+		"b47 ⊕ b44 ⊕ b32 ⊕ b20",
+		"b47 ⊕ b45 ⊕ b33 ⊕ b21",
+	}
+	got := strings.Join(f.Functions, "\n")
+	for _, want := range published {
+		if !strings.Contains(got, want) {
+			t.Errorf("published function %q not recovered", want)
+		}
+	}
+	// The b12/b16 and b13/b17 overlaps.
+	overlaps := strings.Join(f.TagOverlaps, "\n")
+	for _, want := range []string{"b16 ⊕ b12", "b17 ⊕ b13"} {
+		if !strings.Contains(overlaps, want) {
+			t.Errorf("tag overlap %q not recovered", want)
+		}
+	}
+}
+
+func TestFig7BruteForceSucceedsOnZen2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute force is slow")
+	}
+	f, err := RunFig7(Zen2, Fig7Options{Seed: 10, Samples: 4, MaxBatches: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.BruteForceFound {
+		t.Fatal("brute force failed on Zen2 (a 4-bit pattern exists)")
+	}
+}
+
+func TestTable2FetchAllZen(t *testing.T) {
+	rows, err := RunTable2Fetch(AMDMicroarchs(), Table2Options{Seed: 11, Bits: 256, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Table 2 fetch accuracies range 90.67%-100%.
+		if r.AccuracyPct < 85 {
+			t.Errorf("%s fetch channel accuracy %.2f%%, want >= 85%%", r.Arch, r.AccuracyPct)
+		}
+	}
+}
+
+func TestTable2ExecuteOnlyZen12(t *testing.T) {
+	rows, err := RunTable2Execute(AMDMicroarchs(), Table2Options{Seed: 12, Bits: 256, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Arch {
+		case Zen1, Zen2:
+			if r.AccuracyPct < 90 {
+				t.Errorf("%s execute channel accuracy %.2f%%, want >= 90%%", r.Arch, r.AccuracyPct)
+			}
+		default:
+			// No Phantom execute window: the channel degenerates to noise.
+			if r.AccuracyPct > 65 {
+				t.Errorf("%s execute channel accuracy %.2f%%, want chance level", r.Arch, r.AccuracyPct)
+			}
+		}
+	}
+}
+
+func TestTable3ImageKASLR(t *testing.T) {
+	rows, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: 13, Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Table 3 accuracies are 95-100%.
+		if r.AccuracyPct < 75 {
+			t.Errorf("%s image KASLR accuracy %.0f%%", r.Arch, r.AccuracyPct)
+		}
+		if r.MedianSeconds <= 0 {
+			t.Errorf("%s: no time recorded", r.Arch)
+		}
+	}
+}
+
+func TestTable4PhysmapKASLR(t *testing.T) {
+	rows, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Seed: 14, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Table 4: 90-100%.
+		if r.AccuracyPct < 66 {
+			t.Errorf("%s physmap KASLR accuracy %.0f%%", r.Arch, r.AccuracyPct)
+		}
+	}
+}
+
+func TestPhysmapKASLRFailsOnZen3(t *testing.T) {
+	// P2 needs the Phantom execute window; Zen 3 has none, so the scan
+	// must come up empty rather than report a wrong base confidently...
+	sys, err := NewSystem(Zen3, SystemConfig{Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := sys.BreakImageKASLR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.BreakPhysmapKASLR(img.Guess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("physmap KASLR succeeded on Zen3, which lacks transient execution")
+	}
+	if res.Guess != 0 {
+		t.Fatalf("physmap scan on Zen3 found a (false) signal at %#x", res.Guess)
+	}
+}
+
+func TestTable5PhysAddr(t *testing.T) {
+	rows, err := RunTable5(DerandOptions{Seed: 16, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AccuracyPct < 50 {
+			t.Errorf("%s (%s) physaddr accuracy %.0f%%", r.Arch, r.Memory, r.AccuracyPct)
+		}
+	}
+	// The 64 GB machine's search takes proportionally longer (the paper
+	// measures 1 s vs 16 s medians).
+	if rows[1].MedianSeconds <= rows[0].MedianSeconds {
+		t.Errorf("64 GB scan (%f s) not slower than 8 GB scan (%f s)",
+			rows[1].MedianSeconds, rows[0].MedianSeconds)
+	}
+}
+
+func TestMDSLeakEndToEnd(t *testing.T) {
+	sys, err := NewSystem(Zen2, SystemConfig{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secretVA, secret := sys.SecretAddr()
+	res, err := sys.LeakKernelMemory(secretVA, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccuracyPct < 95 {
+		t.Fatalf("MDS leak accuracy %.2f%%", res.AccuracyPct)
+	}
+	if !bytes.Equal(res.Leaked[:256], secret[:256]) && res.AccuracyPct == 100 {
+		t.Fatal("perfect accuracy but mismatching bytes — accounting bug")
+	}
+}
+
+func TestMDSLeakNeedsExecuteWindow(t *testing.T) {
+	// On Zen 3 the nested Phantom window has no execute budget; the leak
+	// gets no signal.
+	sys, err := NewSystem(Zen3, SystemConfig{Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secretVA, _ := sys.SecretAddr()
+	// Skip the chain (physmap cannot be broken on Zen 3 anyway) and call
+	// the internal stage with ground truth via the public wrapper: the
+	// end-to-end call must fail at the physmap stage.
+	if _, err := sys.LeakKernelMemory(secretVA, 32); err == nil {
+		t.Fatal("MDS leak chain succeeded on Zen3")
+	}
+}
+
+func TestMitigationsO4O5(t *testing.T) {
+	m2, err := RunMitigations(Zen2, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.SuppressSupported {
+		t.Fatal("Zen2 must support SuppressBPOnNonBr")
+	}
+	if !m2.BaselineReach.EX {
+		t.Error("Zen2 baseline non-branch victim should reach EX")
+	}
+	if m2.SuppressReach.EX {
+		t.Error("SuppressBPOnNonBr did not stop transient execution")
+	}
+	if !m2.SuppressReach.IF || !m2.SuppressReach.ID {
+		t.Errorf("O4 violated: reach with MSR = %v, want IF+ID", m2.SuppressReach)
+	}
+	if !m2.BranchVictimReach.EX {
+		t.Error("branch victims should still reach EX with the MSR set")
+	}
+	if m2.OverheadPct <= 0 || m2.OverheadPct > 3 {
+		t.Errorf("SuppressBPOnNonBr overhead %.2f%%, want (0, 3]", m2.OverheadPct)
+	}
+	if !m2.IBPBBlocksPhantom {
+		t.Error("IBPB-on-entry failed to block Phantom")
+	}
+
+	m1, err := RunMitigations(Zen1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.SuppressSupported {
+		t.Error("Zen1 must not support SuppressBPOnNonBr (Section 8.1)")
+	}
+
+	m4, err := RunMitigations(Zen4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m4.AutoIBRSSupported || !m4.AutoIBRSLeavesIF || !m4.AutoIBRSBlocksID {
+		t.Errorf("O5 violated: %+v", m4)
+	}
+
+	// The hypothetical Section 8.1 frontend stops every Phantom stage —
+	// and costs an order of magnitude more than SuppressBPOnNonBr, the
+	// trade-off behind the paper's "unfeasible in practice" judgment.
+	if !m2.WaitForDecodeBlocksAll {
+		t.Error("wait-for-decode frontend did not block all stages")
+	}
+	if m2.WaitForDecodeOverheadPct < 5 {
+		t.Errorf("wait-for-decode overhead %.2f%%, expected substantial", m2.WaitForDecodeOverheadPct)
+	}
+	if m2.WaitForDecodeOverheadPct < m2.OverheadPct*5 {
+		t.Errorf("wait-for-decode (%.2f%%) not clearly costlier than SuppressBPOnNonBr (%.2f%%)",
+			m2.WaitForDecodeOverheadPct, m2.OverheadPct)
+	}
+}
+
+func TestKASLRWorksDespiteAutoIBRS(t *testing.T) {
+	// Zen 4 boots with AutoIBRS enabled (threat model), yet P1-based
+	// image KASLR still succeeds — the paper's headline for O5.
+	sys, err := NewSystem(Zen4, SystemConfig{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.BreakImageKASLR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("image KASLR failed on Zen4 with AutoIBRS")
+	}
+}
+
+func TestAttackImpossibleOnIntel(t *testing.T) {
+	// Intel parts tag BTB entries with the privilege mode; the
+	// cross-privilege attack context cannot be built.
+	sys, err := NewSystem(Intel13, SystemConfig{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.BreakImageKASLR(); err == nil {
+		t.Fatal("cross-privilege attack built on Intel profile")
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		sys, err := NewSystem(Zen2, SystemConfig{Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.BreakImageKASLR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Guess, res.Seconds
+	}
+	g1, s1 := run()
+	g2, s2 := run()
+	if g1 != g2 || s1 != s2 {
+		t.Fatalf("same seed diverged: %#x/%f vs %#x/%f", g1, s1, g2, s2)
+	}
+}
+
+func TestMicroarchPlumbing(t *testing.T) {
+	if len(AllMicroarchs()) != 8 || len(AMDMicroarchs()) != 4 {
+		t.Fatal("microarch lists wrong")
+	}
+	for _, a := range AllMicroarchs() {
+		if a.ModelName() == "" {
+			t.Errorf("%s has no model name", a)
+		}
+		if _, err := a.profile(); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+	if _, err := NewSystem("pentium", SystemConfig{}); err == nil {
+		t.Fatal("bogus microarch accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	tb, err := RunTable1(Zen2, Table1Options{Seed: 30, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "Table 1") {
+		t.Error("Table1 formatter broken")
+	}
+	rows := []Table2Row{{Arch: Zen2, Model: "m", AccuracyPct: 93, BitsPerSec: 100, Runs: 1}}
+	if !strings.Contains(FormatTable2("Table 2", rows), "93.00") {
+		t.Error("Table2 formatter broken")
+	}
+	dr := []DerandRow{{Arch: Zen2, Model: "m", AccuracyPct: 97, MedianSeconds: 4, Runs: 1}}
+	if !strings.Contains(FormatDerand("Table 3", dr), "97") {
+		t.Error("Derand formatter broken")
+	}
+}
+
+func TestGenerateReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := GenerateReport(&buf, ReportOptions{
+		Seed: 40, Runs: 2, Bits: 128,
+		Archs:           []Microarch{Zen2, Intel13},
+		MitigationArchs: []Microarch{Zen2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 6", "Table 2", "Tables 3-5", "Section 7.4",
+		"Spectre-V2 baseline", "Mitigations", "O4", "paper",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Fatalf("report suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestRelativeTimeShape(t *testing.T) {
+	// The paper's time relation: physmap KASLR (ascending scan over
+	// 25,600 slots, stopping at the randomized base) takes far longer
+	// than image KASLR (fixed 488-slot scan) — ~100 s vs ~4 s published.
+	// A single run's physmap time is slot-dependent, so compare medians
+	// over several reboots, as the paper's tables do.
+	var imgTimes, pmTimes []float64
+	for r := 0; r < 5; r++ {
+		sys, err := NewSystem(Zen2, SystemConfig{Seed: 50 + int64(r)*7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := sys.BreakImageKASLR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, err := sys.BreakPhysmapKASLR(img.Guess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !img.Correct || !pm.Correct {
+			t.Fatalf("chain failed at reboot %d", r)
+		}
+		imgTimes = append(imgTimes, img.Seconds)
+		pmTimes = append(pmTimes, pm.Seconds)
+	}
+	imgMed := median(imgTimes)
+	pmMed := median(pmTimes)
+	if pmMed <= imgMed {
+		t.Fatalf("median physmap scan (%.4fs) not slower than image scan (%.4fs)", pmMed, imgMed)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
