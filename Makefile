@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race check bench bench-sweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sweep engine made the race detector a meaningful gate for the
+# whole repo: every multi-run experiment now fans (arch, reboot) jobs
+# over a worker pool.
+race:
+	$(GO) test -race ./...
+
+# The full gate: what CI runs.
+check: vet build test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The parallel-sweep headline number: Table 3 at 1 worker vs GOMAXPROCS.
+bench-sweep:
+	$(GO) test -run xxx -bench 'BenchmarkSweepTable3' -benchtime=3x .

@@ -19,6 +19,7 @@ package phantom
 //
 //	go test -bench=. -benchmem
 import (
+	"runtime"
 	"testing"
 )
 
@@ -229,6 +230,30 @@ func BenchmarkSec63_AutoIBRS(b *testing.B) {
 			b.Fatal("O5 violated")
 		}
 	}
+}
+
+// Sweep-engine benchmarks: the same Table 3 sweep (3 µarchs × 8
+// reboots) at one worker vs the full pool. The ratio is the harness's
+// parallel speedup; the tables themselves are byte-identical either way
+// (see TestTable3SweepDeterminism).
+
+func benchTable3Sweep(b *testing.B, jobs int) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunTable3([]Microarch{Zen2, Zen3, Zen4},
+			DerandOptions{Seed: int64(i), Runs: 8, Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkSweepTable3_1Worker(b *testing.B) { benchTable3Sweep(b, 1) }
+func BenchmarkSweepTable3_NWorkers(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	benchTable3Sweep(b, runtime.GOMAXPROCS(0))
 }
 
 // Substrate micro-benchmarks: the cost of the simulator primitives the

@@ -1,10 +1,65 @@
 package main
 
 import (
+	"bytes"
 	"testing"
 
 	"phantom"
 )
+
+func TestAllStepsForwardSeedEverywhere(t *testing.T) {
+	// Regression: `phantom all -seed 42` used to forward -seed only to
+	// table1, silently running the other ten steps at the default seed.
+	steps := allSteps(42, 7, 3)
+	if len(steps) != len(allRunners) {
+		t.Fatalf("%d steps vs %d runners", len(steps), len(allRunners))
+	}
+	for _, s := range steps {
+		if _, ok := allRunners[s[0]]; !ok {
+			t.Errorf("step %q has no runner", s[0])
+		}
+		seeded := false
+		for i, a := range s[:len(s)-1] {
+			if a == "-seed" && s[i+1] == "42" {
+				seeded = true
+			}
+		}
+		if !seeded {
+			t.Errorf("step %v does not forward -seed 42", s)
+		}
+	}
+}
+
+func TestAllStepsForwardJobsToSweeps(t *testing.T) {
+	for _, s := range allSteps(1, 5, 4) {
+		switch s[0] {
+		case "fig6", "fig7", "covert", "kaslr", "physmap", "physaddr", "mds":
+			forwarded := false
+			for i, a := range s[:len(s)-1] {
+				if a == "-jobs" && s[i+1] == "4" {
+					forwarded = true
+				}
+			}
+			if !forwarded {
+				t.Errorf("sweep step %v does not forward -jobs 4", s)
+			}
+		}
+	}
+}
+
+func TestClipGuardsShortLeaks(t *testing.T) {
+	short := []byte{1, 2, 3}
+	if got := clip(short, 16); !bytes.Equal(got, short) {
+		t.Errorf("clip(short, 16) = %v", got)
+	}
+	long := make([]byte, 64)
+	if got := clip(long, 16); len(got) != 16 {
+		t.Errorf("clip(long, 16) returned %d bytes", len(got))
+	}
+	if got := clip(nil, 16); got != nil {
+		t.Errorf("clip(nil, 16) = %v", got)
+	}
+}
 
 func TestParseArchs(t *testing.T) {
 	all, err := parseArchs("all")
@@ -44,7 +99,7 @@ func TestExperimentsSmallRuns(t *testing.T) {
 	if err := cmdCovert([]string{"-arch", "zen2", "-bits", "64", "-runs", "1"}); err != nil {
 		t.Errorf("covert: %v", err)
 	}
-	if err := cmdKASLR([]string{"-arch", "zen2", "-runs", "2"}); err != nil {
+	if err := cmdKASLR([]string{"-arch", "zen2", "-runs", "2", "-jobs", "2"}); err != nil {
 		t.Errorf("kaslr: %v", err)
 	}
 	if err := cmdMDS([]string{"-arch", "zen2", "-runs", "1", "-bytes", "64"}); err != nil {

@@ -1,11 +1,13 @@
 package phantom
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"phantom/internal/core"
 	"phantom/internal/stats"
+	"phantom/internal/sweep"
 	"phantom/internal/uarch"
 )
 
@@ -125,6 +127,17 @@ type Fig6Series struct {
 	SeriesOffset uint64
 }
 
+// RunFig6Sweep reproduces Figure 6 on several microarchitectures at
+// once, fanning the per-arch sweeps over a worker pool of the given
+// size (0 = GOMAXPROCS). The series come back in archs order, identical
+// to running RunFig6 serially.
+func RunFig6Sweep(archs []Microarch, seed int64, jobs int) ([]*Fig6Series, error) {
+	return sweep.Run(context.Background(), len(archs), sweep.Options{Jobs: jobs},
+		func(_ context.Context, i int) (*Fig6Series, error) {
+			return RunFig6(archs[i], seed)
+		})
+}
+
 // RunFig6 reproduces Figure 6 (detecting speculative decode) for one
 // microarchitecture; the paper plots Zen 2 and Zen 4.
 func RunFig6(arch Microarch, seed int64) (*Fig6Series, error) {
@@ -187,6 +200,16 @@ type Fig7Options struct {
 	MaxBatches      int
 	BruteForceFlips int // 0 = 4
 	BruteBudget     int // candidate limit for the brute-force stage; 0 = 20000
+	Jobs            int // worker pool for RunFig7Sweep; 0 = GOMAXPROCS
+}
+
+// RunFig7Sweep runs the Figure 7 recovery on several microarchitectures
+// in parallel (opts.Jobs workers), returning results in archs order.
+func RunFig7Sweep(archs []Microarch, opts Fig7Options) ([]*Fig7, error) {
+	return sweep.Run(context.Background(), len(archs), sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, i int) (*Fig7, error) {
+			return RunFig7(archs[i], opts)
+		})
 }
 
 // RunFig7 reproduces the Section 6.2 methodology on one microarchitecture:
@@ -270,6 +293,7 @@ type Table2Options struct {
 	Seed int64
 	Bits int // per run; 0 = 4096 (the paper's message size)
 	Runs int // 0 = 10 (the paper reports the median of 10)
+	Jobs int // parallel (arch, run) workers; 0 = GOMAXPROCS, 1 = sequential
 }
 
 // RunTable2Fetch reproduces Table 2 (top): the P1 fetch covert channel on
@@ -289,20 +313,34 @@ func runTable2(archs []Microarch, opts Table2Options,
 	if opts.Runs == 0 {
 		opts.Runs = 10
 	}
-	var rows []Table2Row
-	for _, arch := range archs {
-		p, err := arch.profile()
-		if err != nil {
-			return nil, err
-		}
-		var accs, rates []float64
-		for r := 0; r < opts.Runs; r++ {
+	// Fan the (arch, run) grid over the worker pool. Each job boots an
+	// independent channel with an arithmetically derived seed, so results
+	// depend only on the job index and the parallel table is identical to
+	// the sequential one.
+	type sample struct{ acc, rate float64 }
+	samples, err := sweep.Run(context.Background(), len(archs)*opts.Runs, sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, i int) (sample, error) {
+			arch, r := archs[i/opts.Runs], i%opts.Runs
+			p, err := arch.profile()
+			if err != nil {
+				return sample{}, err
+			}
 			res, err := run(p, core.CovertConfig{Seed: opts.Seed + int64(r)*101, Bits: opts.Bits})
 			if err != nil {
-				return nil, err
+				return sample{}, err
 			}
-			accs = append(accs, res.Accuracy.Percent())
-			rates = append(rates, res.BitsPerSecond)
+			return sample{acc: res.Accuracy.Percent(), rate: res.BitsPerSecond}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for ai, arch := range archs {
+		var accs, rates []float64
+		for r := 0; r < opts.Runs; r++ {
+			s := samples[ai*opts.Runs+r]
+			accs = append(accs, s.acc)
+			rates = append(rates, s.rate)
 		}
 		rows = append(rows, Table2Row{
 			Arch:        arch,
@@ -348,6 +386,48 @@ type DerandRow struct {
 type DerandOptions struct {
 	Seed int64
 	Runs int // reboots; 0 = 20 (paper: 100 for Table 3/5, 10 for Table 4)
+	Jobs int // parallel (arch, reboot) workers; 0 = GOMAXPROCS, 1 = sequential
+}
+
+// derandRun is one reboot's outcome inside a Table 3-5 sweep.
+type derandRun struct {
+	correct bool
+	seconds float64
+}
+
+// sweepDerand fans a (config, reboot) grid over the worker pool — n
+// configs × runs reboots — and returns the outcomes grouped by config,
+// reboots in run order. do must derive all randomness from its job
+// coordinates so the grouping is independent of the pool size.
+func sweepDerand(n, runs, jobs int, do func(cfgIdx, r int) (derandRun, error)) ([][]derandRun, error) {
+	flat, err := sweep.Run(context.Background(), n*runs, sweep.Options{Jobs: jobs},
+		func(_ context.Context, i int) (derandRun, error) {
+			return do(i/runs, i%runs)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]derandRun, n)
+	for ci := range out {
+		out[ci] = flat[ci*runs : (ci+1)*runs]
+	}
+	return out, nil
+}
+
+// foldDerand reduces one config's reboot outcomes to a table row.
+func foldDerand(arch Microarch, outcomes []derandRun) DerandRow {
+	var acc stats.Accuracy
+	times := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		acc.Add(o.correct)
+		times = append(times, o.seconds)
+	}
+	return DerandRow{
+		Arch: arch, Model: arch.ModelName(),
+		AccuracyPct:   acc.Percent(),
+		MedianSeconds: stats.Median(times),
+		Runs:          len(outcomes),
+	}
 }
 
 // RunTable3 reproduces Table 3: kernel-image KASLR derandomization with
@@ -356,28 +436,24 @@ func RunTable3(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 20
 	}
-	var rows []DerandRow
-	for _, arch := range archs {
-		var acc stats.Accuracy
-		var times []float64
-		for r := 0; r < opts.Runs; r++ {
-			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*31})
+	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
+		func(ai, r int) (derandRun, error) {
+			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*31})
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			res, err := sys.BreakImageKASLR()
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
-			acc.Add(res.Correct)
-			times = append(times, res.Seconds)
-		}
-		rows = append(rows, DerandRow{
-			Arch: arch, Model: arch.ModelName(),
-			AccuracyPct:   acc.Percent(),
-			MedianSeconds: stats.Median(times),
-			Runs:          opts.Runs,
+			return derandRun{correct: res.Correct, seconds: res.Seconds}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DerandRow
+	for ai, arch := range archs {
+		rows = append(rows, foldDerand(arch, grouped[ai]))
 	}
 	return rows, nil
 }
@@ -388,32 +464,28 @@ func RunTable4(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 10
 	}
-	var rows []DerandRow
-	for _, arch := range archs {
-		var acc stats.Accuracy
-		var times []float64
-		for r := 0; r < opts.Runs; r++ {
-			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*37})
+	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
+		func(ai, r int) (derandRun, error) {
+			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*37})
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			img, err := sys.BreakImageKASLR()
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			res, err := sys.BreakPhysmapKASLR(img.Guess)
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
-			acc.Add(res.Correct)
-			times = append(times, res.Seconds)
-		}
-		rows = append(rows, DerandRow{
-			Arch: arch, Model: arch.ModelName(),
-			AccuracyPct:   acc.Percent(),
-			MedianSeconds: stats.Median(times),
-			Runs:          opts.Runs,
+			return derandRun{correct: res.Correct, seconds: res.Seconds}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DerandRow
+	for ai, arch := range archs {
+		rows = append(rows, foldDerand(arch, grouped[ai]))
 	}
 	return rows, nil
 }
@@ -432,44 +504,40 @@ func RunTable5(opts DerandOptions) ([]DerandRow, error) {
 		{Zen1, 8 << 30},
 		{Zen2, 64 << 30},
 	}
-	var rows []DerandRow
-	for _, c := range configs {
-		var acc stats.Accuracy
-		var times []float64
-		for r := 0; r < opts.Runs; r++ {
+	grouped, err := sweepDerand(len(configs), opts.Runs, opts.Jobs,
+		func(ci, r int) (derandRun, error) {
+			c := configs[ci]
 			sys, err := NewSystem(c.arch, SystemConfig{Seed: opts.Seed + int64(r)*41, PhysBytes: c.mem})
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			img, err := sys.BreakImageKASLR()
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			pm, err := sys.BreakPhysmapKASLR(img.Guess)
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
 			if pm.Guess == 0 {
 				// The physmap stage found no signal this boot; the chain
 				// cannot continue, which counts as a failed run.
-				acc.Add(false)
-				times = append(times, pm.Seconds)
-				continue
+				return derandRun{correct: false, seconds: pm.Seconds}, nil
 			}
 			res, err := sys.FindPhysAddr(img.Guess, pm.Guess)
 			if err != nil {
-				return nil, err
+				return derandRun{}, err
 			}
-			acc.Add(res.Correct)
-			times = append(times, res.Seconds)
-		}
-		rows = append(rows, DerandRow{
-			Arch: c.arch, Model: c.arch.ModelName(),
-			AccuracyPct:   acc.Percent(),
-			MedianSeconds: stats.Median(times),
-			Runs:          opts.Runs,
-			Memory:        fmt.Sprintf("%d GB", c.mem>>30),
+			return derandRun{correct: res.Correct, seconds: res.Seconds}, nil
 		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []DerandRow
+	for ci, c := range configs {
+		row := foldDerand(c.arch, grouped[ci])
+		row.Memory = fmt.Sprintf("%d GB", c.mem>>30)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -503,10 +571,14 @@ type MDSOptions struct {
 	Seed  int64
 	Runs  int // 0 = 10 (the paper's count)
 	Bytes int // 0 = 4096 (the paper leaks 4096 bytes)
+	Jobs  int // parallel reboot workers; 0 = GOMAXPROCS, 1 = sequential
 }
 
 // RunMDSExperiment reproduces Section 7.4: leaking the planted kernel
-// secret through the Listing 4 MDS gadget, across repeated reboots.
+// secret through the Listing 4 MDS gadget, across repeated reboots. A
+// reboot whose exploit chain fails outright (the paper saw signal in
+// only 8 of 10 runs) counts as a no-signal run rather than aborting the
+// sweep, so any seed yields a report.
 func RunMDSExperiment(arch Microarch, opts MDSOptions) (*MDSReport, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 10
@@ -515,21 +587,33 @@ func RunMDSExperiment(arch Microarch, opts MDSOptions) (*MDSReport, error) {
 		opts.Bytes = 4096
 	}
 	rep := &MDSReport{Arch: arch, Runs: opts.Runs}
+	type leakRun struct {
+		acc, rate float64
+	}
+	outcomes, err := sweep.Run(context.Background(), opts.Runs, sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, r int) (leakRun, error) {
+			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43})
+			if err != nil {
+				return leakRun{}, err
+			}
+			secretVA, _ := sys.SecretAddr()
+			res, err := sys.LeakKernelMemory(secretVA, opts.Bytes)
+			if err != nil {
+				// The chain failed on this boot (no physmap signal, reload
+				// buffer not recovered, ...): a zero-signal run.
+				return leakRun{}, nil
+			}
+			return leakRun{acc: res.AccuracyPct, rate: res.BytesPerSecond}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var accs, rates []float64
-	for r := 0; r < opts.Runs; r++ {
-		sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43})
-		if err != nil {
-			return nil, err
-		}
-		secretVA, _ := sys.SecretAddr()
-		res, err := sys.LeakKernelMemory(secretVA, opts.Bytes)
-		if err != nil {
-			return nil, err
-		}
-		if res.AccuracyPct > 0 {
+	for _, o := range outcomes {
+		if o.acc > 0 {
 			rep.SignalRuns++
-			accs = append(accs, res.AccuracyPct)
-			rates = append(rates, res.BytesPerSecond)
+			accs = append(accs, o.acc)
+			rates = append(rates, o.rate)
 		}
 	}
 	rep.AccuracyPct = stats.Median(accs)

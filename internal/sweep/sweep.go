@@ -1,0 +1,113 @@
+// Package sweep is the parallel fan-out engine of the experiment
+// harness. The paper's evaluation is a large sweep — eight
+// microarchitectures times 10–100 reboots per table — and every run
+// boots an independent simulated System whose randomness comes from its
+// own arithmetically derived seed. That makes the (arch, run) job space
+// embarrassingly parallel, with one obligation: results must come back
+// in job-index order so a parallel sweep renders byte-identical tables
+// to the sequential one.
+//
+// Run executes a job function over n indexes on a bounded worker pool.
+// Jobs selects the pool size (default runtime.GOMAXPROCS(0)); Jobs == 1
+// reproduces the sequential path exactly, including its execution
+// order. The first job failure cancels the remaining jobs via context.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Options tunes a sweep.
+type Options struct {
+	// Jobs is the worker-pool size. Zero or negative means
+	// runtime.GOMAXPROCS(0). One runs the jobs sequentially in index
+	// order.
+	Jobs int
+}
+
+// workers resolves the pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(ctx, i) for every i in [0, n) on a bounded worker
+// pool and returns the n results in job-index order, so output built
+// from them is identical whatever the pool size.
+//
+// The first error cancels the context handed to the remaining jobs;
+// Run then reports the lowest-index non-cancellation error (or, if
+// every failure is a cancellation, the first of those). On error the
+// results are nil.
+func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// firstError picks the error Run reports: the lowest-index failure that
+// is not a mere cancellation echo, falling back to the first
+// cancellation if nothing else failed.
+func firstError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
+}

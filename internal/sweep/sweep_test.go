@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexOrder(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 8, 64} {
+		got, err := Run(context.Background(), 50, Options{Jobs: jobs},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("Jobs=%d: %d results", jobs, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("Jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	_, err := Run(context.Background(), 20, Options{Jobs: 1},
+		func(_ context.Context, i int) (struct{}, error) {
+			order = append(order, i)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not sequential", order)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var inFlight, peak atomic.Int64
+	_, err := Run(context.Background(), 100, Options{Jobs: jobs},
+		func(_ context.Context, i int) (struct{}, error) {
+			n := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > jobs {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", p, jobs)
+	}
+}
+
+func TestRunFirstErrorWinsAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Run(context.Background(), 200, Options{Jobs: 4},
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, fmt.Errorf("job %d: %w", i, boom)
+			}
+			<-ctx.Done() // parked until the job-0 failure cancels the sweep
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if ran.Load() == 200 {
+		t.Error("cancellation did not skip any queued job")
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	// With one worker every job runs in order, so index 3's error must be
+	// the one reported even though index 10 would fail too.
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := Run(context.Background(), 20, Options{Jobs: 1},
+		func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errA
+			case 10:
+				return 0, errB
+			}
+			return i, nil
+		})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want %v", err, errA)
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	var once sync.Once
+	_, err := Run(ctx, 100, Options{Jobs: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			once.Do(cancel)
+			return i, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() == 100 {
+		t.Error("cancellation did not skip any queued job")
+	}
+}
+
+func TestRunZeroJobsReturnsNil(t *testing.T) {
+	got, err := Run(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct{ jobs, n, want int }{
+		{0, 1000, runtime.GOMAXPROCS(0)},
+		{-3, 1000, runtime.GOMAXPROCS(0)},
+		{1, 1000, 1},
+		{8, 4, 4}, // never more workers than jobs
+		{16, 16, 16},
+	}
+	for _, c := range cases {
+		if got := (Options{Jobs: c.jobs}).workers(c.n); got != c.want {
+			t.Errorf("Options{Jobs:%d}.workers(%d) = %d, want %d", c.jobs, c.n, got, c.want)
+		}
+	}
+}

@@ -126,8 +126,12 @@ func NewSystem(arch Microarch, cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Deterministic wins over NoiseLevel: it promises unit-test conditions,
+	// so any configured noise is dropped, not merely defaulted.
 	noise := cfg.NoiseLevel
-	if noise == 0 && !cfg.Deterministic {
+	if cfg.Deterministic {
+		noise = 0
+	} else if noise == 0 {
 		noise = 1
 	}
 	k, err := kernel.Boot(p, kernel.Config{
@@ -144,6 +148,11 @@ func NewSystem(arch Microarch, cfg SystemConfig) (*System, error) {
 
 // Arch returns the system's microarchitecture.
 func (s *System) Arch() Microarch { return s.arch }
+
+// NoiseLevel reports the effective injected-noise scale this system
+// booted with: 0 under Deterministic (whatever NoiseLevel was set to),
+// the calibrated 1 when neither field is set, else the configured value.
+func (s *System) NoiseLevel() float64 { return s.k.M.Noise.Level }
 
 // KernelImageBase returns the ground-truth randomized image base. Attack
 // code never reads it; it exists so callers can verify exploit output.
@@ -226,6 +235,12 @@ func (s *System) LeakKernelMemory(kva uint64, n int) (*LeakResult, error) {
 	pm, err := core.BreakPhysmapKASLR(s.k, core.PhysmapKASLRConfig{ImageBase: img.Guess})
 	if err != nil {
 		return nil, err
+	}
+	if img.Guess == 0 || pm.Guess == 0 {
+		// The derandomization steps can come up empty on an unlucky
+		// boot (the paper's own success rates are below 100%); report
+		// that instead of letting FindPhysAddr reject the zero base.
+		return nil, fmt.Errorf("phantom: KASLR derandomization found no candidate on this boot (image=%#x, physmap=%#x)", img.Guess, pm.Guess)
 	}
 	const hugeVA = uint64(0x7f5000000000)
 	if _, err := s.k.AllocUserHuge(hugeVA); err != nil {

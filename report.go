@@ -1,10 +1,12 @@
 package phantom
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"phantom/internal/core"
+	"phantom/internal/sweep"
 )
 
 // ReportOptions controls GenerateReport's scale.
@@ -14,6 +16,10 @@ type ReportOptions struct {
 	Runs int
 	// Bits per covert-channel run; 0 = 1024 (the paper's 4096 via flag).
 	Bits int
+	// Jobs sizes the worker pool every section's sweep runs on; 0 =
+	// GOMAXPROCS, 1 = the sequential path. The report text is identical
+	// for every pool size.
+	Jobs int
 	// Archs to cover in the Table 1 section; nil = all eight.
 	Archs []Microarch
 	// MitigationArchs to evaluate in the mitigation section; nil = all
@@ -52,12 +58,18 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	fmt.Fprintf(w, "scale discussion. Paper columns quote MICRO '23 Tables 1-5 and Sections 6-8.\n\n")
 
 	// ---- Table 1 -------------------------------------------------------
+	// Each section computes its per-arch results on the worker pool, then
+	// writes them in arch order, so the document is byte-identical to a
+	// fully sequential generation.
 	fmt.Fprintf(w, "## Table 1 — training×victim matrix\n\n")
-	for _, arch := range opts.Archs {
-		tb, err := RunTable1(arch, Table1Options{Seed: opts.Seed, Trials: 4})
-		if err != nil {
-			return err
-		}
+	tables, err := sweep.Run(context.Background(), len(opts.Archs), sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, i int) (*Table1, error) {
+			return RunTable1(opts.Archs[i], Table1Options{Seed: opts.Seed, Trials: 4})
+		})
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
 		fmt.Fprintf(w, "```\n%s```\n\n", tb)
 	}
 	fmt.Fprintf(w, "Paper: EX on Zen 1/2 only (O3); IF+ID elsewhere (O1, O2); jmp*-victim\n")
@@ -65,11 +77,13 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Figure 6 ------------------------------------------------------
 	fmt.Fprintf(w, "## Figure 6 — speculative decode\n\n")
-	for _, arch := range []Microarch{Zen2, Zen4} {
-		s, err := RunFig6(arch, opts.Seed)
-		if err != nil {
-			return err
-		}
+	fig6Archs := []Microarch{Zen2, Zen4}
+	series, err := RunFig6Sweep(fig6Archs, opts.Seed, opts.Jobs)
+	if err != nil {
+		return err
+	}
+	for fi, arch := range fig6Archs {
+		s := series[fi]
 		spike, clean := 0, 0
 		for _, pt := range s.Points {
 			if pt.Offset>>6 == s.SeriesOffset>>6 {
@@ -85,7 +99,7 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Table 2 -------------------------------------------------------
 	fmt.Fprintf(w, "## Table 2 — covert channels\n\n")
-	t2opts := Table2Options{Seed: opts.Seed, Bits: opts.Bits, Runs: min(opts.Runs, 10)}
+	t2opts := Table2Options{Seed: opts.Seed, Bits: opts.Bits, Runs: min(opts.Runs, 10), Jobs: opts.Jobs}
 	fetchRows, err := RunTable2Fetch(AMDMicroarchs(), t2opts)
 	if err != nil {
 		return err
@@ -106,21 +120,21 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Tables 3-5 ----------------------------------------------------
 	fmt.Fprintf(w, "## Tables 3-5 — derandomization\n\n")
-	t3, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: opts.Seed, Runs: opts.Runs})
+	t3, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
 	writeDerandSection(w, "Kernel image KASLR (Table 3)", t3, []paperRef{
 		{"zen2", "97% / 4.09 s"}, {"zen3", "100% / 1.38 s"}, {"zen4", "95% / 1.23 s"},
 	})
-	t4, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10)})
+	t4, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
 	writeDerandSection(w, "Physmap KASLR (Table 4)", t4, []paperRef{
 		{"zen1", "100% / 101 s"}, {"zen2", "90% / 106.5 s"},
 	})
-	t5, err := RunTable5(DerandOptions{Seed: opts.Seed, Runs: opts.Runs})
+	t5, err := RunTable5(DerandOptions{Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
@@ -130,7 +144,7 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Section 7.4 ---------------------------------------------------
 	fmt.Fprintf(w, "## Section 7.4 — MDS-gadget kernel leak (Zen 2)\n\n")
-	mds, err := RunMDSExperiment(Zen2, MDSOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Bytes: 1024})
+	mds, err := RunMDSExperiment(Zen2, MDSOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Bytes: 1024, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
@@ -140,15 +154,19 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Baseline ------------------------------------------------------
 	fmt.Fprintf(w, "## Conventional Spectre-V2 baseline\n\n")
-	for _, arch := range []Microarch{Zen2, Zen4, Intel13} {
-		p, err := arch.profile()
-		if err != nil {
-			return err
-		}
-		v2, err := core.RunSpectreV2(p, opts.Seed, 32)
-		if err != nil {
-			return err
-		}
+	v2Archs := []Microarch{Zen2, Zen4, Intel13}
+	v2s, err := sweep.Run(context.Background(), len(v2Archs), sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, i int) (*core.SpectreV2Result, error) {
+			p, err := v2Archs[i].profile()
+			if err != nil {
+				return nil, err
+			}
+			return core.RunSpectreV2(p, opts.Seed, 32)
+		})
+	if err != nil {
+		return err
+	}
+	for _, v2 := range v2s {
 		fmt.Fprintf(w, "- %s\n", v2)
 	}
 	fmt.Fprintf(w, "\nThe backend-resolved window works everywhere — the contrast that makes\n")
@@ -156,11 +174,14 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 
 	// ---- Mitigations ---------------------------------------------------
 	fmt.Fprintf(w, "## Mitigations (Sections 6.3, 8)\n\n")
-	for _, arch := range opts.MitigationArchs {
-		m, err := RunMitigations(arch, opts.Seed)
-		if err != nil {
-			return err
-		}
+	mits, err := sweep.Run(context.Background(), len(opts.MitigationArchs), sweep.Options{Jobs: opts.Jobs},
+		func(_ context.Context, i int) (*MitigationSummary, error) {
+			return RunMitigations(opts.MitigationArchs[i], opts.Seed)
+		})
+	if err != nil {
+		return err
+	}
+	for _, m := range mits {
 		fmt.Fprintf(w, "```\n%s```\n\n", m)
 	}
 	fmt.Fprintf(w, "Paper: O4 (SuppressBPOnNonBr leaves IF/ID), O5 (AutoIBRS leaves IF),\n")

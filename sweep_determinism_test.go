@@ -1,0 +1,140 @@
+package phantom
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The sweep engine's contract: per-run seeds are derived arithmetically
+// from the job coordinates, so a parallel sweep must render the very
+// bytes the sequential one does, and the same seed must render the same
+// bytes twice. These tests pin that for every multi-run experiment.
+
+func TestTable2SweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rows, err := RunTable2Fetch(AMDMicroarchs(), Table2Options{Seed: 60, Bits: 128, Runs: 4, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable2("Table 2 (top) — fetch covert channel (P1)", rows)
+	}
+	seq := render(1)
+	if par := render(8); par != seq {
+		t.Errorf("parallel Table 2 differs from sequential:\n--- jobs=1\n%s--- jobs=8\n%s", seq, par)
+	}
+	if again := render(1); again != seq {
+		t.Errorf("same-seed Table 2 runs differ:\n%s\nvs\n%s", seq, again)
+	}
+}
+
+func TestTable2ExecuteSweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rows, err := RunTable2Execute([]Microarch{Zen1, Zen2}, Table2Options{Seed: 61, Bits: 128, Runs: 3, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable2("Table 2 (bottom) — execute covert channel (P2)", rows)
+	}
+	if seq, par := render(1), render(8); par != seq {
+		t.Errorf("parallel execute channel differs from sequential:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestTable3SweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rows, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: 62, Runs: 4, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatDerand("Table 3", rows)
+	}
+	seq := render(1)
+	if par := render(8); par != seq {
+		t.Errorf("parallel Table 3 differs from sequential:\n%s\nvs\n%s", seq, par)
+	}
+	if again := render(8); again != seq {
+		t.Error("repeated parallel Table 3 runs differ")
+	}
+}
+
+func TestTable4SweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rows, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Seed: 63, Runs: 3, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatDerand("Table 4", rows)
+	}
+	if seq, par := render(1), render(8); par != seq {
+		t.Errorf("parallel Table 4 differs from sequential:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestTable5SweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rows, err := RunTable5(DerandOptions{Seed: 64, Runs: 2, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatDerand("Table 5", rows)
+	}
+	if seq, par := render(1), render(8); par != seq {
+		t.Errorf("parallel Table 5 differs from sequential:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestMDSSweepDeterminism(t *testing.T) {
+	render := func(jobs int) string {
+		rep, err := RunMDSExperiment(Zen2, MDSOptions{Seed: 65, Runs: 3, Bytes: 256, Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if seq, par := render(1), render(8); par != seq {
+		t.Errorf("parallel MDS report differs from sequential:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestFig6SweepMatchesSerial(t *testing.T) {
+	archs := []Microarch{Zen2, Zen4}
+	swept, err := RunFig6Sweep(archs, 66, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != len(archs) {
+		t.Fatalf("%d series for %d archs", len(swept), len(archs))
+	}
+	for i, arch := range archs {
+		serial, err := RunFig6(arch, 66)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(swept[i], serial) {
+			t.Errorf("%s: swept series differs from serial run", arch)
+		}
+	}
+}
+
+func TestReportSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the report twice")
+	}
+	render := func(jobs int) []byte {
+		var buf bytes.Buffer
+		err := GenerateReport(&buf, ReportOptions{
+			Seed: 67, Runs: 2, Bits: 128, Jobs: jobs,
+			Archs:           []Microarch{Zen2, Zen4},
+			MitigationArchs: []Microarch{Zen2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := render(1), render(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("parallel report differs from sequential (%d vs %d bytes)", len(seq), len(par))
+	}
+}
