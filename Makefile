@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-sweep
+.PHONY: build test vet race check bench bench-smoke bench-sweep
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,15 @@ race:
 # The full gate: what CI runs.
 check: vet build test race
 
+# Full benchmark suite, archived as a dated JSON log (one test2json event
+# per line) so before/after comparisons can be committed next to the code.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -json ./... > BENCH_$$(date +%Y%m%d).json
+
+# One benchmark iteration each: a smoke test that the harness still runs,
+# not a measurement. CI uses this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 # The parallel-sweep headline number: Table 3 at 1 worker vs GOMAXPROCS.
 bench-sweep:

@@ -42,6 +42,7 @@ func BenchmarkTable1_Intel9(b *testing.B)  { benchTable1(b, Intel9) }
 func BenchmarkTable1_Intel13(b *testing.B) { benchTable1(b, Intel13) }
 
 func benchFig6(b *testing.B, arch Microarch) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := RunFig6(arch, int64(i))
 		if err != nil {
@@ -61,6 +62,7 @@ func BenchmarkFig6_Zen2(b *testing.B) { benchFig6(b, Zen2) }
 func BenchmarkFig6_Zen4(b *testing.B) { benchFig6(b, Zen4) }
 
 func BenchmarkFig7_BruteForceZen2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f, err := RunFig7(Zen2, Fig7Options{Seed: int64(i), Samples: 4, MaxBatches: 200, BruteBudget: 20000})
 		if err != nil {
@@ -73,6 +75,7 @@ func BenchmarkFig7_BruteForceZen2(b *testing.B) {
 }
 
 func BenchmarkFig7_RecoveryZen3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f, err := RunFig7(Zen3, Fig7Options{Seed: int64(i) + 9, BruteBudget: 500})
 		if err != nil {
@@ -86,6 +89,7 @@ func BenchmarkFig7_RecoveryZen3(b *testing.B) {
 
 func benchCovert(b *testing.B, arch Microarch,
 	run func([]Microarch, Table2Options) ([]Table2Row, error)) {
+	b.ReportAllocs()
 	var acc, rate float64
 	for i := 0; i < b.N; i++ {
 		rows, err := run([]Microarch{arch}, Table2Options{Seed: int64(i), Bits: 1024, Runs: 1})
@@ -107,6 +111,7 @@ func BenchmarkTable2_ExecuteZen1(b *testing.B) { benchCovert(b, Zen1, RunTable2E
 func BenchmarkTable2_ExecuteZen2(b *testing.B) { benchCovert(b, Zen2, RunTable2Execute) }
 
 func benchTable3(b *testing.B, arch Microarch) {
+	b.ReportAllocs()
 	correct, simSecs := 0, 0.0
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(arch, SystemConfig{Seed: int64(i)})
@@ -131,6 +136,7 @@ func BenchmarkTable3_Zen3(b *testing.B) { benchTable3(b, Zen3) }
 func BenchmarkTable3_Zen4(b *testing.B) { benchTable3(b, Zen4) }
 
 func benchTable4(b *testing.B, arch Microarch) {
+	b.ReportAllocs()
 	correct, simSecs := 0, 0.0
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(arch, SystemConfig{Seed: int64(i)})
@@ -158,6 +164,7 @@ func BenchmarkTable4_Zen1(b *testing.B) { benchTable4(b, Zen1) }
 func BenchmarkTable4_Zen2(b *testing.B) { benchTable4(b, Zen2) }
 
 func benchTable5(b *testing.B, arch Microarch, mem uint64) {
+	b.ReportAllocs()
 	correct, simSecs := 0, 0.0
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(arch, SystemConfig{Seed: int64(i), PhysBytes: mem})
@@ -189,6 +196,7 @@ func BenchmarkTable5_Zen1_8GB(b *testing.B)  { benchTable5(b, Zen1, 8<<30) }
 func BenchmarkTable5_Zen2_64GB(b *testing.B) { benchTable5(b, Zen2, 64<<30) }
 
 func BenchmarkSec74_MDSLeak(b *testing.B) {
+	b.ReportAllocs()
 	accSum, rateSum := 0.0, 0.0
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(Zen2, SystemConfig{Seed: int64(i)})
@@ -208,6 +216,7 @@ func BenchmarkSec74_MDSLeak(b *testing.B) {
 }
 
 func BenchmarkSec63_SuppressOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, err := RunMitigations(Zen2, int64(i))
 		if err != nil {
@@ -221,6 +230,7 @@ func BenchmarkSec63_SuppressOverhead(b *testing.B) {
 }
 
 func BenchmarkSec63_AutoIBRS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, err := RunMitigations(Zen4, int64(i))
 		if err != nil {
@@ -238,6 +248,7 @@ func BenchmarkSec63_AutoIBRS(b *testing.B) {
 // (see TestTable3SweepDeterminism).
 
 func benchTable3Sweep(b *testing.B, jobs int) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := RunTable3([]Microarch{Zen2, Zen3, Zen4},
 			DerandOptions{Seed: int64(i), Runs: 8, Jobs: jobs})
@@ -269,6 +280,7 @@ func BenchmarkSubstrate_Boot(b *testing.B) {
 }
 
 func BenchmarkSubstrate_Syscall(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := NewSystem(Zen2, SystemConfig{Seed: 1, Deterministic: true})
 	if err != nil {
 		b.Fatal(err)

@@ -50,6 +50,9 @@ type Table1Options struct {
 	Seed   int64
 	Trials int     // per-cell trials; 0 = 6
 	Noise  float64 // 0 = noiseless (lab conditions, as in Section 5)
+	// DisablePredecode runs the cells on the byte-at-a-time reference
+	// fetch path (see SystemConfig.DisablePredecode).
+	DisablePredecode bool
 }
 
 // RunTable1 reproduces Table 1 for one microarchitecture: all asymmetric
@@ -63,6 +66,7 @@ func RunTable1(arch Microarch, opts Table1Options) (*Table1, error) {
 	}
 	res, err := core.RunMatrix(p, core.MatrixConfig{
 		Seed: opts.Seed, Trials: opts.Trials, Noise: opts.Noise,
+		DisablePredecode: opts.DisablePredecode,
 	})
 	if err != nil {
 		return nil, err
@@ -294,6 +298,9 @@ type Table2Options struct {
 	Bits int // per run; 0 = 4096 (the paper's message size)
 	Runs int // 0 = 10 (the paper reports the median of 10)
 	Jobs int // parallel (arch, run) workers; 0 = GOMAXPROCS, 1 = sequential
+	// DisablePredecode runs the channels on the byte-at-a-time reference
+	// fetch path (see SystemConfig.DisablePredecode).
+	DisablePredecode bool
 }
 
 // RunTable2Fetch reproduces Table 2 (top): the P1 fetch covert channel on
@@ -325,7 +332,10 @@ func runTable2(archs []Microarch, opts Table2Options,
 			if err != nil {
 				return sample{}, err
 			}
-			res, err := run(p, core.CovertConfig{Seed: opts.Seed + int64(r)*101, Bits: opts.Bits})
+			res, err := run(p, core.CovertConfig{
+				Seed: opts.Seed + int64(r)*101, Bits: opts.Bits,
+				DisablePredecode: opts.DisablePredecode,
+			})
 			if err != nil {
 				return sample{}, err
 			}
@@ -387,6 +397,9 @@ type DerandOptions struct {
 	Seed int64
 	Runs int // reboots; 0 = 20 (paper: 100 for Table 3/5, 10 for Table 4)
 	Jobs int // parallel (arch, reboot) workers; 0 = GOMAXPROCS, 1 = sequential
+	// DisablePredecode boots every system on the byte-at-a-time reference
+	// fetch path (see SystemConfig.DisablePredecode).
+	DisablePredecode bool
 }
 
 // derandRun is one reboot's outcome inside a Table 3-5 sweep.
@@ -438,7 +451,7 @@ func RunTable3(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	}
 	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
-			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*31})
+			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*31, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
 				return derandRun{}, err
 			}
@@ -466,7 +479,7 @@ func RunTable4(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	}
 	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
-			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*37})
+			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*37, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
 				return derandRun{}, err
 			}
@@ -507,7 +520,7 @@ func RunTable5(opts DerandOptions) ([]DerandRow, error) {
 	grouped, err := sweepDerand(len(configs), opts.Runs, opts.Jobs,
 		func(ci, r int) (derandRun, error) {
 			c := configs[ci]
-			sys, err := NewSystem(c.arch, SystemConfig{Seed: opts.Seed + int64(r)*41, PhysBytes: c.mem})
+			sys, err := NewSystem(c.arch, SystemConfig{Seed: opts.Seed + int64(r)*41, PhysBytes: c.mem, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
 				return derandRun{}, err
 			}
@@ -572,6 +585,9 @@ type MDSOptions struct {
 	Runs  int // 0 = 10 (the paper's count)
 	Bytes int // 0 = 4096 (the paper leaks 4096 bytes)
 	Jobs  int // parallel reboot workers; 0 = GOMAXPROCS, 1 = sequential
+	// DisablePredecode boots every system on the byte-at-a-time reference
+	// fetch path (see SystemConfig.DisablePredecode).
+	DisablePredecode bool
 }
 
 // RunMDSExperiment reproduces Section 7.4: leaking the planted kernel
@@ -592,7 +608,7 @@ func RunMDSExperiment(arch Microarch, opts MDSOptions) (*MDSReport, error) {
 	}
 	outcomes, err := sweep.Run(context.Background(), opts.Runs, sweep.Options{Jobs: opts.Jobs},
 		func(_ context.Context, r int) (leakRun, error) {
-			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43})
+			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
 				return leakRun{}, err
 			}

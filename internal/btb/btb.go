@@ -40,9 +40,13 @@ type BTB struct {
 	scheme *Scheme
 	ways   int
 	// sets allocate lazily: the index space is large (function bits plus
-	// low PC bits) and sparsely used.
-	sets map[uint32][]entry
-	tick uint64
+	// low PC bits) and sparsely used. Set slices are carved from arena in
+	// ways-sized runs so that populating thousands of sets (KASLR sweeps
+	// touch a new index per probe slot) costs one allocation per chunk
+	// instead of one per set.
+	sets  map[uint32][]entry
+	arena []entry
+	tick  uint64
 
 	// Lookups and Hits count queries for diagnostics.
 	Lookups uint64
@@ -54,11 +58,18 @@ func New(s *Scheme, ways int) *BTB {
 	return &BTB{scheme: s, ways: ways, sets: make(map[uint32][]entry)}
 }
 
+// arenaChunkSets is how many sets one arena allocation backs.
+const arenaChunkSets = 8
+
 // set returns the (lazily created) entry group for an index.
 func (b *BTB) set(idx uint32) []entry {
 	s := b.sets[idx]
 	if s == nil {
-		s = make([]entry, b.ways)
+		if len(b.arena) < b.ways {
+			b.arena = make([]entry, b.ways*arenaChunkSets)
+		}
+		s = b.arena[:b.ways:b.ways]
+		b.arena = b.arena[b.ways:]
 		b.sets[idx] = s
 	}
 	return s
@@ -169,6 +180,7 @@ func (b *BTB) Evict(va uint64, kernel bool) {
 // all our exploitation primitives").
 func (b *BTB) FlushAll() {
 	b.sets = make(map[uint32][]entry)
+	b.arena = nil // old chunks alias flushed sets; start clean
 }
 
 // Occupancy returns the number of valid entries (diagnostics).

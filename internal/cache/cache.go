@@ -73,7 +73,11 @@ func (c Config) String() string {
 }
 
 type line struct {
-	valid bool
+	// epoch stamps the FlushAll generation the line was filled under; a
+	// line is live iff its epoch matches the cache's. 0 means invalid,
+	// so flashing a single line means zeroing its epoch and flushing
+	// everything means bumping the cache's — no eager sweep either way.
+	epoch uint64
 	tag   uint64
 	lru   uint64 // higher = more recently used
 }
@@ -87,6 +91,10 @@ type Cache struct {
 	plru       []uint64 // tree-PLRU state per set (bits of the tree)
 	rng        *rand.Rand
 	useCounter uint64
+	// epoch is the current FlushAll generation (starts at 1 so the zero
+	// line value is never live). Experiments flush entire hierarchies
+	// between trials; bumping a counter replaces sweeping every set.
+	epoch uint64
 
 	// Statistics.
 	Hits      uint64
@@ -105,11 +113,16 @@ func New(cfg Config, rng *rand.Rand) *Cache {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
 	c := &Cache{cfg: cfg, rng: rng}
+	// One backing array carved into per-set slices: experiment sweeps
+	// construct whole machines per configuration, and Sets separate
+	// allocations per cache dominated their setup cost.
+	backing := make([]line, cfg.Sets*cfg.Ways)
 	c.sets = make([][]line, cfg.Sets)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	c.plru = make([]uint64, cfg.Sets)
+	c.epoch = 1
 	return c
 }
 
@@ -132,7 +145,7 @@ func (c *Cache) Present(addr uint64) bool {
 	set := c.sets[c.SetIndex(addr)]
 	tag := c.tagOf(addr)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].epoch == c.epoch && set[i].tag == tag {
 			return true
 		}
 	}
@@ -149,7 +162,7 @@ func (c *Cache) Access(addr uint64) (hit bool, evictedTag uint64, evicted bool) 
 	tag := c.tagOf(addr)
 	c.useCounter++
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].epoch == c.epoch && set[i].tag == tag {
 			c.Hits++
 			set[i].lru = c.useCounter
 			c.touchPLRU(si, i)
@@ -160,7 +173,7 @@ func (c *Cache) Access(addr uint64) (hit bool, evictedTag uint64, evicted bool) 
 	// Fill: choose victim.
 	victim := -1
 	for i := range set {
-		if !set[i].valid {
+		if set[i].epoch != c.epoch {
 			victim = i
 			break
 		}
@@ -172,7 +185,7 @@ func (c *Cache) Access(addr uint64) (hit bool, evictedTag uint64, evicted bool) 
 			uint64(si)*uint64(c.cfg.LineSize)
 		evicted = true
 	}
-	set[victim] = line{valid: true, tag: tag, lru: c.useCounter}
+	set[victim] = line{epoch: c.epoch, tag: tag, lru: c.useCounter}
 	c.touchPLRU(si, victim)
 	return false, evictedTag, evicted
 }
@@ -244,20 +257,17 @@ func (c *Cache) Flush(addr uint64) {
 	set := c.sets[c.SetIndex(addr)]
 	tag := c.tagOf(addr)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].epoch == c.epoch && set[i].tag == tag {
 			set[i] = line{}
 			c.Flushes++
 		}
 	}
 }
 
-// FlushAll invalidates every line.
+// FlushAll invalidates every line by advancing the epoch — O(1), which
+// matters because experiments flush whole hierarchies between trials.
 func (c *Cache) FlushAll() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	c.epoch++
 	c.Flushes++
 }
 
@@ -273,7 +283,7 @@ func (c *Cache) FlushSet(si int) {
 func (c *Cache) ValidLines(si int) int {
 	n := 0
 	for _, l := range c.sets[si] {
-		if l.valid {
+		if l.epoch == c.epoch {
 			n++
 		}
 	}
@@ -293,7 +303,7 @@ func (c *Cache) OccupiedWays(si int, primed []uint64) int {
 	}
 	n := 0
 	for _, l := range c.sets[si] {
-		if l.valid && !primedTags[l.tag] {
+		if l.epoch == c.epoch && !primedTags[l.tag] {
 			n++
 		}
 	}

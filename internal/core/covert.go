@@ -40,6 +40,9 @@ type CovertConfig struct {
 	// adds I-cache interference; the paper's accuracy *gain* came from
 	// slowing the victim thread, which has no analogue here.
 	SiblingStress int
+	// DisablePredecode runs the channel on the byte-at-a-time reference
+	// fetch path (parity testing; results must not change).
+	DisablePredecode bool
 }
 
 func (c CovertConfig) withDefaults() CovertConfig {
@@ -137,7 +140,7 @@ const covertISet = 33
 // a direct branch of the covert kernel module, invokes it, and probes.
 func RunCovertFetch(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
 	cfg = cfg.withDefaults()
-	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise})
+	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise, DisablePredecode: cfg.DisablePredecode})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +178,7 @@ func RunCovertFetch(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
 // speculation reaches execute — AMD Zen 1 and Zen 2.
 func RunCovertExecute(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
 	cfg = cfg.withDefaults()
-	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise})
+	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise, DisablePredecode: cfg.DisablePredecode})
 	if err != nil {
 		return nil, err
 	}

@@ -109,10 +109,10 @@ func BreakImageKASLR(k *kernel.Kernel, cfg ImageKASLRConfig) (*KASLRResult, erro
 	exitJmpOff := k.SymbolOffset("getpid_exit_jmp")
 
 	bestSlot, bestScore := -1, 0.0
+	probeTimes := make([]float64, len(sets))
 	for slot := 0; slot < kernel.KernelSlots; slot++ {
 		candidate := kernel.SlotBase(slot)
 		victim := candidate + kernel.GetpidSiteOff
-		probeTimes := make([]float64, len(sets))
 		for i, pp := range pps {
 			// Target inside the candidate image that maps to set i.
 			target := candidate + 0x2000 + uint64(sets[i])<<6

@@ -26,8 +26,11 @@ type fixup struct {
 }
 
 // NewAssembler returns an assembler whose first emitted byte lands at base.
+// The label map allocates lazily (most experiment snippets bind none) and
+// the buffer starts with room for a typical snippet, so assembling the
+// short blobs the sweeps build in bulk costs two allocations.
 func NewAssembler(base uint64) *Assembler {
-	return &Assembler{base: base, labels: make(map[string]uint64)}
+	return &Assembler{base: base, buf: make([]byte, 0, 64)}
 }
 
 // Base returns the virtual address of the first byte.
@@ -41,6 +44,9 @@ func (a *Assembler) Label(name string) {
 	if _, dup := a.labels[name]; dup {
 		a.fail(fmt.Errorf("duplicate label %q", name))
 		return
+	}
+	if a.labels == nil {
+		a.labels = make(map[string]uint64)
 	}
 	a.labels[name] = a.PC()
 }

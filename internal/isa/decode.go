@@ -35,7 +35,6 @@ func Decode(b []byte) Inst {
 	rexW := rexB&0x08 != 0
 	extR := int(rexB&0x04) << 1 // +8 to ModRM.reg
 	extB := int(rexB & 0x01)    // +8 to ModRM.rm / opcode reg
-	_ = rexW
 
 	fail := Inst{Op: OpInvalid, Len: 1}
 

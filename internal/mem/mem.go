@@ -11,7 +11,11 @@
 // the huge kernel virtual regions the present pages actually are.
 package mem
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
 
 // Page geometry.
 const (
@@ -100,24 +104,48 @@ type PTE struct {
 // touch. The zero value is not usable; call NewPhysMem.
 type PhysMem struct {
 	frames map[uint64][]byte // keyed by PA >> PageShift
-	size   uint64            // advertised physical memory size (for physmap experiments)
+
+	// codeGens tracks, per frame holding predecoded instruction bytes
+	// (see pipeline's predecode cache), a generation counter bumped by
+	// any write that changes bytes in that frame. Frames outside the
+	// map — data, stacks — write at full speed.
+	codeGens map[uint64]uint64
+
+	// arena backs lazily-touched frames in page-sized runs carved from
+	// chunk allocations, so experiments that touch thousands of fresh
+	// frames (KASLR slot sweeps map new training pages per probe) pay one
+	// allocation per chunk instead of one per frame.
+	arena []byte
+
+	size uint64 // advertised physical memory size (for physmap experiments)
 }
 
 // NewPhysMem returns physical memory advertising the given size in bytes
 // (the size bounds the physical-address search space in the Table 5
 // experiment; frames are still allocated lazily).
 func NewPhysMem(size uint64) *PhysMem {
-	return &PhysMem{frames: make(map[uint64][]byte), size: size}
+	return &PhysMem{
+		frames:   make(map[uint64][]byte),
+		codeGens: make(map[uint64]uint64),
+		size:     size,
+	}
 }
 
 // Size returns the advertised physical memory size in bytes.
 func (pm *PhysMem) Size() uint64 { return pm.size }
 
+// frameArenaPages is how many frames one arena chunk backs.
+const frameArenaPages = 16
+
 func (pm *PhysMem) frame(pa uint64) []byte {
 	key := pa >> PageShift
 	f := pm.frames[key]
 	if f == nil {
-		f = make([]byte, PageSize)
+		if len(pm.arena) < PageSize {
+			pm.arena = make([]byte, PageSize*frameArenaPages)
+		}
+		f = pm.arena[:PageSize:PageSize]
+		pm.arena = pm.arena[PageSize:]
 		pm.frames[key] = f
 	}
 	return f
@@ -130,11 +158,19 @@ func (pm *PhysMem) Read8(pa uint64) byte {
 
 // Write8 writes one byte of physical memory.
 func (pm *PhysMem) Write8(pa uint64, v byte) {
-	pm.frame(pa)[pa&(PageSize-1)] = v
+	b := pm.frame(pa)
+	off := pa & (PageSize - 1)
+	if b[off] != v {
+		b[off] = v
+		pm.noteCodeChange(pa)
+	}
 }
 
 // Read64 reads a little-endian 64-bit word (may straddle frames).
 func (pm *PhysMem) Read64(pa uint64) uint64 {
+	if off := pa & (PageSize - 1); off+8 <= PageSize {
+		return binary.LittleEndian.Uint64(pm.frame(pa)[off:])
+	}
 	var v uint64
 	for i := uint(0); i < 8; i++ {
 		v |= uint64(pm.Read8(pa+uint64(i))) << (8 * i)
@@ -144,6 +180,14 @@ func (pm *PhysMem) Read64(pa uint64) uint64 {
 
 // Write64 writes a little-endian 64-bit word (may straddle frames).
 func (pm *PhysMem) Write64(pa uint64, v uint64) {
+	if off := pa & (PageSize - 1); off+8 <= PageSize {
+		b := pm.frame(pa)[off : off+8]
+		if binary.LittleEndian.Uint64(b) != v {
+			binary.LittleEndian.PutUint64(b, v)
+			pm.noteCodeChange(pa)
+		}
+		return
+	}
 	for i := uint(0); i < 8; i++ {
 		pm.Write8(pa+uint64(i), byte(v>>(8*i)))
 	}
@@ -154,9 +198,75 @@ func (pm *PhysMem) WriteBytes(pa uint64, b []byte) {
 	for len(b) > 0 {
 		frame := pm.frame(pa)
 		off := pa & (PageSize - 1)
-		n := copy(frame[off:], b)
+		dst := frame[off:]
+		n := len(b)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		// A copy only *changes* the frame if the bytes differ; rewriting an
+		// identical blob (retraining loops do this constantly) must not
+		// invalidate predecoded lines. The compare runs only for frames the
+		// predecode cache registered.
+		if pm.isCodeFrame(pa) && !bytes.Equal(dst[:n], b[:n]) {
+			pm.codeGens[pa>>PageShift]++
+		}
+		copy(dst, b[:n])
 		b = b[n:]
 		pa += uint64(n)
+	}
+}
+
+// Window returns a slice aliasing the physical frame that contains pa,
+// covering [pa, pa+n). It reports false when the window would straddle a
+// frame boundary. The slice must be treated as read-only: writing through
+// it would bypass the code-generation tracking that Write8/Write64/
+// WriteBytes maintain for predecode invalidation.
+func (pm *PhysMem) Window(pa uint64, n int) ([]byte, bool) {
+	off := pa & (PageSize - 1)
+	if off+uint64(n) > PageSize {
+		return nil, false
+	}
+	return pm.frame(pa)[off : off+uint64(n)], true
+}
+
+// MarkCodeFrame records that the frame containing pa holds predecoded
+// instruction bytes, so subsequent byte-changing writes to it bump its
+// generation. It returns the frame's current generation, which callers
+// snapshot alongside the decode they cache.
+func (pm *PhysMem) MarkCodeFrame(pa uint64) uint64 {
+	key := pa >> PageShift
+	g, ok := pm.codeGens[key]
+	if !ok {
+		g = 1
+		pm.codeGens[key] = g
+	}
+	return g
+}
+
+// CodeGen returns the generation of the frame containing pa (0 if the
+// frame was never marked). A cached decode is stale iff the generation
+// has moved past the value snapshotted at insert time.
+func (pm *PhysMem) CodeGen(pa uint64) uint64 { return pm.codeGens[pa>>PageShift] }
+
+func (pm *PhysMem) isCodeFrame(pa uint64) bool {
+	if len(pm.codeGens) == 0 {
+		return false
+	}
+	_, ok := pm.codeGens[pa>>PageShift]
+	return ok
+}
+
+// noteCodeChange advances the generation of pa's frame when it holds
+// predecoded code (self-modifying code, harness rewrites). The common
+// case — no code frames registered yet, or a write to a data frame —
+// costs one length check or one map probe.
+func (pm *PhysMem) noteCodeChange(pa uint64) {
+	if len(pm.codeGens) == 0 {
+		return
+	}
+	key := pa >> PageShift
+	if _, ok := pm.codeGens[key]; ok {
+		pm.codeGens[key]++
 	}
 }
 
@@ -177,6 +287,11 @@ type AddrSpace struct {
 	pages  map[uint64]PTE // keyed by VA >> PageShift
 	phys   *PhysMem
 	ranges []linearRange // fallback linear windows (e.g. physmap)
+
+	// epoch counts mapping mutations (Map, MapHuge, Unmap, SetPerm,
+	// AddLinearRange). Translation memos snapshot it and self-invalidate
+	// when it moves, so remapping a page can never serve a stale PA.
+	epoch uint64
 }
 
 // NewAddrSpace returns an empty address space backed by pm.
@@ -187,6 +302,10 @@ func NewAddrSpace(pm *PhysMem) *AddrSpace {
 // Phys returns the backing physical memory.
 func (as *AddrSpace) Phys() *PhysMem { return as.phys }
 
+// Epoch returns the mapping-mutation count. Any change to the VA→PA
+// relation (or its permissions) moves the epoch forward.
+func (as *AddrSpace) Epoch() uint64 { return as.epoch }
+
 // Map installs a mapping of length bytes from va to pa with the given
 // permissions. va, pa and length must be page aligned.
 func (as *AddrSpace) Map(va, pa, length uint64, perm Perm) error {
@@ -196,6 +315,7 @@ func (as *AddrSpace) Map(va, pa, length uint64, perm Perm) error {
 	for off := uint64(0); off < length; off += PageSize {
 		as.pages[(va+off)>>PageShift] = PTE{PA: pa + off, Perm: perm}
 	}
+	as.epoch++
 	return nil
 }
 
@@ -209,6 +329,7 @@ func (as *AddrSpace) MapHuge(va, pa, length uint64, perm Perm) error {
 	for off := uint64(0); off < length; off += PageSize {
 		as.pages[(va+off)>>PageShift] = PTE{PA: pa + off, Perm: perm, Huge: true}
 	}
+	as.epoch++
 	return nil
 }
 
@@ -217,6 +338,7 @@ func (as *AddrSpace) Unmap(va, length uint64) {
 	for off := uint64(0); off < length; off += PageSize {
 		delete(as.pages, (va+off)>>PageShift)
 	}
+	as.epoch++
 }
 
 // SetPerm rewrites the permissions of an existing page, as the paper does
@@ -230,6 +352,7 @@ func (as *AddrSpace) SetPerm(va uint64, perm Perm) bool {
 	}
 	pte.Perm = perm
 	as.pages[key] = pte
+	as.epoch++
 	return true
 }
 
@@ -245,26 +368,39 @@ func (as *AddrSpace) Lookup(va uint64) (PTE, bool) {
 // Translate checks permissions for an access of the given kind from the
 // given privilege (user=true means CPL3) and returns the physical address.
 func (as *AddrSpace) Translate(va uint64, kind AccessKind, user bool) (uint64, *Fault) {
-	pte, ok := as.pages[va>>PageShift]
+	pa, fv, ok := as.TranslateV(va, kind, user)
 	if !ok {
-		if pte, ok = as.rangeLookup(va); !ok {
-			return 0, &Fault{VA: va, Kind: kind, NotPresent: true}
+		f := fv
+		return 0, &f
+	}
+	return pa, nil
+}
+
+// TranslateV is Translate returning the fault by value (ok=false), for
+// callers on paths where faults are routine — KASLR probing branches into
+// unmapped kernel slots millions of times, and a heap-allocated Fault per
+// probe dominated the experiment's allocation profile.
+func (as *AddrSpace) TranslateV(va uint64, kind AccessKind, user bool) (pa uint64, fault Fault, ok bool) {
+	pte, found := as.pages[va>>PageShift]
+	if !found {
+		if pte, found = as.rangeLookup(va); !found {
+			return 0, Fault{VA: va, Kind: kind, NotPresent: true}, false
 		}
 	}
 	if user && pte.Perm&PermUser == 0 {
-		return 0, &Fault{VA: va, Kind: kind}
+		return 0, Fault{VA: va, Kind: kind}, false
 	}
 	switch kind {
 	case AccessWrite:
 		if pte.Perm&PermWrite == 0 {
-			return 0, &Fault{VA: va, Kind: kind}
+			return 0, Fault{VA: va, Kind: kind}, false
 		}
 	case AccessFetch:
 		if pte.Perm&PermExec == 0 {
-			return 0, &Fault{VA: va, Kind: kind}
+			return 0, Fault{VA: va, Kind: kind}, false
 		}
 	}
-	return pte.PA + va&(PageSize-1), nil
+	return pte.PA + va&(PageSize-1), Fault{}, true
 }
 
 // Read8 performs a privileged (kernel-level, permission-unchecked beyond
@@ -279,6 +415,13 @@ func (as *AddrSpace) Read8(va uint64) (byte, error) {
 
 // Read64 performs a privileged 64-bit read for harness use.
 func (as *AddrSpace) Read64(va uint64) (uint64, error) {
+	if va&(PageSize-1) <= PageSize-8 {
+		pa, f := as.Translate(va, AccessRead, false)
+		if f != nil {
+			return 0, f
+		}
+		return as.phys.Read64(pa), nil
+	}
 	var v uint64
 	for i := uint(0); i < 8; i++ {
 		b, err := as.Read8(va + uint64(i))
@@ -290,8 +433,18 @@ func (as *AddrSpace) Read64(va uint64) (uint64, error) {
 	return v, nil
 }
 
-// Write64 performs a privileged 64-bit write for harness use.
+// Write64 performs a privileged 64-bit write for harness use. Virtual
+// contiguity only implies physical contiguity within one page, so the
+// single-translation fast path applies only when the word fits a page.
 func (as *AddrSpace) Write64(va uint64, v uint64) error {
+	if va&(PageSize-1) <= PageSize-8 {
+		pa, f := as.Translate(va, AccessRead, false)
+		if f != nil {
+			return f
+		}
+		as.phys.Write64(pa, v)
+		return nil
+	}
 	for i := uint(0); i < 8; i++ {
 		pa, f := as.Translate(va+uint64(i), AccessRead, false)
 		if f != nil {
@@ -302,14 +455,25 @@ func (as *AddrSpace) Write64(va uint64, v uint64) error {
 	return nil
 }
 
-// WriteBytes installs b at va via existing mappings (harness use).
+// WriteBytes installs b at va via existing mappings (harness use). It
+// translates once per page and copies page-sized runs: a page that
+// translates is physically contiguous, so per-byte translation — the
+// dominant cost when harnesses rewrite whole training pages in a loop —
+// is pure overhead. Bytes in pages preceding an unmapped page are still
+// written before the error returns, matching the byte-wise behavior.
 func (as *AddrSpace) WriteBytes(va uint64, b []byte) error {
-	for i, c := range b {
-		pa, f := as.Translate(va+uint64(i), AccessRead, false)
+	for len(b) > 0 {
+		pa, f := as.Translate(va, AccessRead, false)
 		if f != nil {
 			return f
 		}
-		as.phys.Write8(pa, c)
+		n := int(PageSize - va&(PageSize-1))
+		if n > len(b) {
+			n = len(b)
+		}
+		as.phys.WriteBytes(pa, b[:n])
+		b = b[n:]
+		va += uint64(n)
 	}
 	return nil
 }

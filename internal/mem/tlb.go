@@ -18,9 +18,12 @@ type TLB struct {
 // NewTLB returns a TLB with the given geometry.
 func NewTLB(sets, ways int) *TLB {
 	t := &TLB{sets: sets, ways: ways}
+	// One backing array carved into per-set slices; machines are built in
+	// bulk during sweeps and per-set allocations dominated TLB setup.
+	backing := make([]uint64, sets*ways)
 	t.tags = make([][]uint64, sets)
 	for i := range t.tags {
-		t.tags[i] = make([]uint64, ways)
+		t.tags[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	t.clock = make([]int, sets)
 	return t

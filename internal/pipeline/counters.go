@@ -63,4 +63,12 @@ type DebugCounters struct {
 
 	Faults   uint64
 	Syscalls uint64
+
+	// PredecodeHits/Misses count probes of the interpreter's predecode
+	// cache (predecode.go). Pure simulator bookkeeping: the cache charges
+	// no cycles and models no hardware structure, so these never feed an
+	// observation channel — they exist to assert the fast path actually
+	// engages (and is invalidated) in tests and benchmarks.
+	PredecodeHits   uint64
+	PredecodeMisses uint64
 }

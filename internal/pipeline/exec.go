@@ -66,6 +66,9 @@ func (m *Machine) exec(va uint64, in isa.Inst) *RunResult {
 		if f != nil {
 			return m.fault(f)
 		}
+		// Phys.Write64 advances the code generation when pa lands in a
+		// predecoded frame, so a store over executed bytes (self-modifying
+		// code) evicts the stale decodes before they can be fetched again.
 		m.Phys.Write64(pa, m.Regs[in.Reg])
 	case isa.OpPush:
 		m.Regs[isa.RSP] -= 8
@@ -86,7 +89,7 @@ func (m *Machine) exec(va uint64, in isa.Inst) *RunResult {
 		m.Regs[isa.RAX] = m.Cycle
 	case isa.OpClflush:
 		addr := m.Regs[in.Reg2] + uint64(int64(in.Disp))
-		pa, f := m.AS().Translate(addr, mem.AccessRead, !m.Kernel)
+		pa, f := m.xlate(addr, mem.AccessRead)
 		if f != nil {
 			return m.fault(f)
 		}
@@ -95,9 +98,9 @@ func (m *Machine) exec(va uint64, in isa.Inst) *RunResult {
 	case isa.OpLfence, isa.OpMfence:
 		m.Cycle += 4
 	case isa.OpHlt:
-		return &RunResult{Reason: StopHalt}
+		return m.stop(RunResult{Reason: StopHalt})
 	case isa.OpInt3:
-		return &RunResult{Reason: StopTrap}
+		return m.stop(RunResult{Reason: StopTrap})
 
 	case isa.OpJmp:
 		next = m.takeBranch(va, isa.BrJmp, in.Target(va))
@@ -136,7 +139,7 @@ func (m *Machine) exec(va uint64, in isa.Inst) *RunResult {
 	case isa.OpSyscall:
 		if !m.Kernel {
 			if m.SyscallEntry == 0 {
-				return &RunResult{Reason: StopTrap}
+				return m.stop(RunResult{Reason: StopTrap})
 			}
 			m.Debug.Syscalls++
 			m.emit(EvSyscall, va, 1)

@@ -85,7 +85,29 @@ type Machine struct {
 	// Tracer, when non-nil, receives pipeline events (see trace.go).
 	Tracer Tracer
 
+	// DisablePredecode routes instruction fetch+decode through the
+	// original byte-at-a-time path instead of the predecode cache. The
+	// cache is an interpreter optimization that charges no cycles, so
+	// both modes must render byte-identical experiment output; parity
+	// tests flip this knob to prove it (see predecode.go).
+	DisablePredecode bool
+
 	rng *rand.Rand
+
+	// pre caches decoded instructions per physical code line; fmemo
+	// memoizes the last instruction-page translation (predecode.go).
+	pre   predecodeCache
+	fmemo fetchMemo
+
+	// stopScratch backs the *RunResult returned by step/exec/fault so
+	// the interpreter's stop path doesn't heap-allocate. Run copies the
+	// value out before the next step can overwrite it. faultScratch
+	// likewise backs the *mem.Fault those results carry: training
+	// primitives fault by design on every probe, so the fault path is as
+	// hot as the success path. Both are overwritten by the next step —
+	// harnesses consume results before resuming the machine.
+	stopScratch  RunResult
+	faultScratch mem.Fault
 
 	// syscallRet holds the user RIP+2 saved by syscall; kernel-mode
 	// syscall acts as sysret back to it.
@@ -129,6 +151,7 @@ func New(p *uarch.Profile, physBytes uint64, seed int64) *Machine {
 	m.Noise = NewNoiseSource(m, rng)
 	m.lastFetchLine = ^uint64(0)
 	m.lastUopLine = ^uint64(0)
+	m.pre = newPredecodeCache()
 	return m
 }
 
@@ -146,10 +169,22 @@ func (m *Machine) RNG() *rand.Rand { return m.rng }
 // tlbLatency charges a page-walk penalty on TLB miss.
 const tlbMissPenalty = 20
 
+// xlate translates va through the active address space without heap-
+// allocating on fault: the fault value lands in faultScratch and the
+// returned pointer aliases it until the next faulting translation.
+func (m *Machine) xlate(va uint64, kind mem.AccessKind) (uint64, *mem.Fault) {
+	pa, fv, ok := m.AS().TranslateV(va, kind, !m.Kernel)
+	if !ok {
+		m.faultScratch = fv
+		return 0, &m.faultScratch
+	}
+	return pa, nil
+}
+
 // fetchLatency translates va for execution and charges I-TLB + I-cache
 // hierarchy timing for its line. It returns the physical address.
 func (m *Machine) fetchLatency(va uint64) (uint64, *mem.Fault) {
-	pa, f := m.AS().Translate(va, mem.AccessFetch, !m.Kernel)
+	pa, f := m.xlate(va, mem.AccessFetch)
 	if f != nil {
 		return 0, f
 	}
@@ -163,7 +198,7 @@ func (m *Machine) fetchLatency(va uint64) (uint64, *mem.Fault) {
 // dataAccess translates va for a load/store and charges D-TLB + D-cache
 // timing. kind is AccessRead or AccessWrite.
 func (m *Machine) dataAccess(va uint64, kind mem.AccessKind) (uint64, *mem.Fault) {
-	pa, f := m.AS().Translate(va, kind, !m.Kernel)
+	pa, f := m.xlate(va, kind)
 	if f != nil {
 		return 0, f
 	}
@@ -174,13 +209,17 @@ func (m *Machine) dataAccess(va uint64, kind mem.AccessKind) (uint64, *mem.Fault
 	return pa, nil
 }
 
-// fetchBytes reads up to n instruction bytes at va for the decoder,
-// via the active translation, without charging timing (timing is charged
-// line-granularly by the caller).
+// fetchBytes reads up to n instruction bytes at va for the decoder, via
+// the active translation, without charging timing (timing is charged
+// line-granularly by the caller). This is the slow path, shared by the
+// architectural and wrong-path walkers: decodeAt uses it whenever the
+// decode window may cross a page boundary — the one case where truncating
+// at an unmapped neighbor page matters — and for all fetches when the
+// predecode cache is disabled.
 func (m *Machine) fetchBytes(va uint64, n int) ([]byte, *mem.Fault) {
 	buf := make([]byte, 0, n)
 	for i := 0; i < n; i++ {
-		pa, f := m.AS().Translate(va+uint64(i), mem.AccessFetch, !m.Kernel)
+		pa, f := m.xlate(va+uint64(i), mem.AccessFetch)
 		if f != nil {
 			if i == 0 {
 				return nil, f

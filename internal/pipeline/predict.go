@@ -211,7 +211,7 @@ func (m *Machine) resteer(frontend bool) {
 // transientFetchLine models a single wrong-path line fetch (fall-through
 // prefetch by the decoupled fetcher).
 func (m *Machine) transientFetchLine(va uint64) {
-	if pa, f := m.AS().Translate(va, mem.AccessFetch, !m.Kernel); f == nil {
+	if pa, _, ok := m.AS().TranslateV(va, mem.AccessFetch, !m.Kernel); ok {
 		m.Hier.AccessFetch(pa)
 		m.Debug.TransientFetchLines++
 	}

@@ -101,14 +101,13 @@ func (m *Machine) step() *RunResult {
 		m.lastFetchLine = line
 		m.emit(EvFetchLine, line, 0)
 	}
-	bytes, f := m.fetchBytes(va, 16)
+	in, f := m.decodeAt(va)
 	if f != nil {
 		return m.fault(f)
 	}
-	in := isa.Decode(bytes)
 	if in.Op == isa.OpInvalid {
 		m.Debug.Faults++
-		return &RunResult{Reason: StopTrap}
+		return m.stop(RunResult{Reason: StopTrap})
 	}
 	if end := (va + uint64(in.Len) - 1) &^ (lineSize - 1); end != m.lastFetchLine {
 		if _, f := m.fetchLatency(va + uint64(in.Len) - 1); f != nil {
@@ -165,7 +164,15 @@ func (m *Machine) step() *RunResult {
 func (m *Machine) fault(f *mem.Fault) *RunResult {
 	m.Debug.Faults++
 	m.emit(EvFault, f.VA, 0)
-	return &RunResult{Reason: StopFault, Fault: f}
+	return m.stop(RunResult{Reason: StopFault, Fault: f})
+}
+
+// stop parks r in the machine-owned scratch slot and returns its address,
+// so the per-instruction stop path never heap-allocates. Run copies the
+// value out immediately; callers must not hold the pointer across steps.
+func (m *Machine) stop(r RunResult) *RunResult {
+	m.stopScratch = r
+	return &m.stopScratch
 }
 
 // prefetchPredictedTarget fills the I-cache line of a prediction whose use
@@ -180,7 +187,7 @@ func (m *Machine) prefetchPredictedTarget(pred btb.Prediction, va uint64) {
 		}
 		target = t
 	}
-	if pa, f := m.AS().Translate(target, mem.AccessFetch, !m.Kernel); f == nil {
+	if pa, _, ok := m.AS().TranslateV(target, mem.AccessFetch, !m.Kernel); ok {
 		m.Hier.AccessFetch(pa)
 		m.Debug.PrefetchOnRejectedPrediction++
 	}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"phantom/internal/isa"
+	"phantom/internal/mem"
+	"phantom/internal/uarch"
+)
+
+// Self-modifying-code regression tests for the predecode cache: once a
+// line has been executed (and therefore predecoded), a store over its
+// bytes must evict the stale decodes before the line is fetched again.
+
+// targetBlob assembles `mov rax, imm; hlt` at base, padded with nops to
+// 16 bytes so the two patching qword stores cover it exactly.
+func targetBlob(t *testing.T, base, imm uint64) []byte {
+	t.Helper()
+	a := isa.NewAssembler(base)
+	a.MovImm(isa.RAX, imm)
+	a.Hlt()
+	b := a.MustBytes()
+	if len(b) > 16 {
+		t.Fatalf("target blob is %d bytes", len(b))
+	}
+	for len(b) < 16 {
+		b = append(b, 0x90)
+	}
+	return b
+}
+
+func TestSelfModifyingCodeViaStore(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	const targetVA = 0x500000
+
+	// The target page is mapped RWX so its own process can patch it.
+	v1 := targetBlob(t, targetVA, 1)
+	installBlob(t, m, targetVA, v1, mem.PermRead|mem.PermWrite|mem.PermExec|mem.PermUser)
+
+	// Execute version 1 a few times so its decodes are cached hot.
+	for i := 0; i < 3; i++ {
+		if res := m.RunAt(targetVA, 100); res.Reason != StopHalt {
+			t.Fatalf("v1 run %d: %v", i, res)
+		}
+		if m.Regs[isa.RAX] != 1 {
+			t.Fatalf("v1 rax = %d", m.Regs[isa.RAX])
+		}
+	}
+	if m.Debug.PredecodeHits == 0 {
+		t.Fatal("predecode cache never hit while re-running v1")
+	}
+
+	// The writer patches the target with version 2 using ordinary stores —
+	// the same retiring OpStore path any simulated program uses.
+	v2 := targetBlob(t, targetVA, 2)
+	w := isa.NewAssembler(0x400000)
+	w.MovImm(isa.RSI, targetVA)
+	w.MovImm(isa.RAX, binary.LittleEndian.Uint64(v2[0:8]))
+	w.Store(isa.RSI, 0, isa.RAX)
+	w.MovImm(isa.RAX, binary.LittleEndian.Uint64(v2[8:16]))
+	w.Store(isa.RSI, 8, isa.RAX)
+	w.Hlt()
+	installCode(t, m, w)
+	if res := m.RunAt(0x400000, 100); res.Reason != StopHalt {
+		t.Fatalf("writer: %v", res)
+	}
+
+	// Re-execute: the stale decode of v1 must not survive.
+	if res := m.RunAt(targetVA, 100); res.Reason != StopHalt {
+		t.Fatalf("v2 run: %v", res)
+	}
+	if m.Regs[isa.RAX] != 2 {
+		t.Fatalf("after patch rax = %d, want 2 (stale predecode served)", m.Regs[isa.RAX])
+	}
+}
+
+func TestSelfModifyingCodeViaHarnessWrite(t *testing.T) {
+	m := newTestMachine(t, uarch.Zen2())
+	const targetVA = 0x500000
+
+	v1 := targetBlob(t, targetVA, 7)
+	installBlob(t, m, targetVA, v1, mem.PermRead|mem.PermWrite|mem.PermExec|mem.PermUser)
+	if res := m.RunAt(targetVA, 100); res.Reason != StopHalt || m.Regs[isa.RAX] != 7 {
+		t.Fatalf("v1: %v rax=%d", res, m.Regs[isa.RAX])
+	}
+
+	// Harnesses rewrite training pages through AddrSpace.WriteBytes; that
+	// path must invalidate cached decodes exactly like a simulated store.
+	v2 := targetBlob(t, targetVA, 9)
+	if err := m.UserAS.WriteBytes(targetVA, v2); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.RunAt(targetVA, 100); res.Reason != StopHalt {
+		t.Fatalf("v2: %v", res)
+	}
+	if m.Regs[isa.RAX] != 9 {
+		t.Fatalf("after rewrite rax = %d, want 9", m.Regs[isa.RAX])
+	}
+}

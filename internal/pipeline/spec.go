@@ -44,7 +44,7 @@ func (m *Machine) speculate(target uint64, win uarch.Window, kind specKind) {
 			if fetchLines >= win.FetchLines {
 				return
 			}
-			pa, f := m.AS().Translate(pc, mem.AccessFetch, !m.Kernel)
+			pa, f := m.translateFetch(pc)
 			if f != nil {
 				// Unmapped or NX: the fetch dies and nothing fills — the
 				// asymmetry P1/P2 are built on.
@@ -61,11 +61,10 @@ func (m *Machine) speculate(target uint64, win uarch.Window, kind specKind) {
 		if decodes >= win.DecodeInsts {
 			return
 		}
-		bytes, f := m.specFetchBytes(pc, 16)
+		in, f := m.decodeAt(pc)
 		if f != nil {
 			return
 		}
-		in := isa.Decode(bytes)
 		if in.Op == isa.OpInvalid || in.Op == isa.OpInt3 || in.Op == isa.OpHlt {
 			return
 		}
@@ -91,8 +90,8 @@ func (m *Machine) speculate(target uint64, win uarch.Window, kind specKind) {
 			switch in.Op {
 			case isa.OpLoad:
 				va := regs[in.Reg2] + uint64(int64(in.Disp))
-				pa, f := m.AS().Translate(va, mem.AccessRead, !m.Kernel)
-				if f == nil {
+				pa, _, ok := m.AS().TranslateV(va, mem.AccessRead, !m.Kernel)
+				if ok {
 					m.Hier.AccessData(pa)
 					m.Debug.TransientLoads++
 					m.emit(EvSpecLoad, va, 0)
@@ -135,7 +134,7 @@ func (m *Machine) speculate(target uint64, win uarch.Window, kind specKind) {
 				// Store-buffer only.
 			case isa.OpPop:
 				va := regs[isa.RSP]
-				if pa, f := m.AS().Translate(va, mem.AccessRead, !m.Kernel); f == nil {
+				if pa, _, ok := m.AS().TranslateV(va, mem.AccessRead, !m.Kernel); ok {
 					m.Hier.AccessData(pa)
 					m.Debug.TransientLoads++
 					m.emit(EvSpecLoad, va, 0)
@@ -236,23 +235,6 @@ func (m *Machine) specNextPC(pc uint64, in isa.Inst, regs [isa.NumRegs]uint64, z
 		return 0, false
 	}
 	return 0, false
-}
-
-// specFetchBytes reads wrong-path instruction bytes without charging
-// timing or faulting architecturally.
-func (m *Machine) specFetchBytes(va uint64, n int) ([]byte, *mem.Fault) {
-	buf := make([]byte, 0, n)
-	for i := 0; i < n; i++ {
-		pa, f := m.AS().Translate(va+uint64(i), mem.AccessFetch, !m.Kernel)
-		if f != nil {
-			if i == 0 {
-				return nil, f
-			}
-			break
-		}
-		buf = append(buf, m.Phys.Read8(pa))
-	}
-	return buf, nil
 }
 
 // aluImm applies an OpAluImm operation, returning the new value and flags.

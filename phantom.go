@@ -111,6 +111,13 @@ type SystemConfig struct {
 	Deterministic bool
 	// KPTI enables kernel page-table isolation costs.
 	KPTI bool
+	// DisablePredecode turns off the interpreter's predecode cache and
+	// runs the byte-at-a-time reference fetch path. The cache is a pure
+	// simulator optimization that charges no cycles, so every experiment
+	// must produce byte-identical output with it on or off; this knob is
+	// how the determinism tests prove that, and how to rule the cache out
+	// when debugging a suspected simulation difference.
+	DisablePredecode bool
 }
 
 // System is one booted machine-plus-kernel, the subject of the attacks.
@@ -135,10 +142,11 @@ func NewSystem(arch Microarch, cfg SystemConfig) (*System, error) {
 		noise = 1
 	}
 	k, err := kernel.Boot(p, kernel.Config{
-		Seed:       cfg.Seed,
-		PhysBytes:  cfg.PhysBytes,
-		NoiseLevel: noise,
-		KPTI:       cfg.KPTI,
+		Seed:             cfg.Seed,
+		PhysBytes:        cfg.PhysBytes,
+		NoiseLevel:       noise,
+		KPTI:             cfg.KPTI,
+		DisablePredecode: cfg.DisablePredecode,
 	})
 	if err != nil {
 		return nil, err

@@ -117,6 +117,63 @@ func TestFig6SweepMatchesSerial(t *testing.T) {
 	}
 }
 
+// The predecode cache (internal/pipeline/predecode.go) is a pure fetch
+// memoisation: it must never change what any experiment renders. These
+// tests pin byte-identical output between the cached fast path and the
+// byte-at-a-time reference path for each experiment family.
+
+func TestTable1PredecodeParity(t *testing.T) {
+	render := func(disable bool) string {
+		tab, err := RunTable1(Zen2, Table1Options{Seed: 70, Trials: 3, DisablePredecode: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.String()
+	}
+	if on, off := render(false), render(true); on != off {
+		t.Errorf("Table 1 changes with the predecode cache:\n--- cache on\n%s--- cache off\n%s", on, off)
+	}
+}
+
+func TestTable2PredecodeParity(t *testing.T) {
+	render := func(disable bool) string {
+		rows, err := RunTable2Fetch([]Microarch{Zen2}, Table2Options{Seed: 71, Bits: 128, Runs: 2, Jobs: 2, DisablePredecode: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTable2("Table 2 (top) — fetch covert channel (P1)", rows)
+	}
+	if on, off := render(false), render(true); on != off {
+		t.Errorf("Table 2 changes with the predecode cache:\n--- cache on\n%s--- cache off\n%s", on, off)
+	}
+}
+
+func TestTable3PredecodeParity(t *testing.T) {
+	render := func(disable bool) string {
+		rows, err := RunTable3([]Microarch{Zen3}, DerandOptions{Seed: 72, Runs: 3, Jobs: 2, DisablePredecode: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatDerand("Table 3", rows)
+	}
+	if on, off := render(false), render(true); on != off {
+		t.Errorf("Table 3 changes with the predecode cache:\n--- cache on\n%s--- cache off\n%s", on, off)
+	}
+}
+
+func TestMDSPredecodeParity(t *testing.T) {
+	render := func(disable bool) string {
+		rep, err := RunMDSExperiment(Zen2, MDSOptions{Seed: 73, Runs: 2, Bytes: 256, Jobs: 2, DisablePredecode: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.String()
+	}
+	if on, off := render(false), render(true); on != off {
+		t.Errorf("MDS report changes with the predecode cache:\n--- cache on\n%s--- cache off\n%s", on, off)
+	}
+}
+
 func TestReportSweepDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("generates the report twice")
