@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke bench-sweep
+.PHONY: build test vet race check cover bench bench-smoke bench-sweep bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,13 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs.
-check: vet build test race
+check: vet build test race cover
+
+# Statement coverage with per-package floors (coverage.floors): fails
+# when any package regresses below its recorded seed-state coverage.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./internal/tools/coverfloor -profile cover.out -floors coverage.floors
 
 # Full benchmark suite, archived as a dated JSON log (one test2json event
 # per line) so before/after comparisons can be committed next to the code.
@@ -33,3 +39,16 @@ bench-smoke:
 # The parallel-sweep headline number: Table 3 at 1 worker vs GOMAXPROCS.
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweepTable3' -benchtime=3x .
+
+# The telemetry no-perturbation overhead number (Table 1 with the hub
+# off vs on), archived as a dated JSON log like `make bench`. Runs the
+# off/on pair back-to-back five times so each pair shares machine
+# conditions — -count grouping would run all off then all on, letting
+# thermal/neighbor drift masquerade as overhead.
+bench-telemetry:
+	rm -f BENCH_$$(date +%Y%m%d)_telemetry.json
+	for i in 1 2 3 4 5; do \
+		$(GO) test -run '^$$' -bench 'BenchmarkTable1Telemetry' -benchmem -benchtime=5s -count=1 -json . \
+			>> BENCH_$$(date +%Y%m%d)_telemetry.json; \
+	done
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_$$(date +%Y%m%d)_telemetry.json || true

@@ -19,8 +19,11 @@ package phantom
 //
 //	go test -bench=. -benchmem
 import (
+	"io"
 	"runtime"
 	"testing"
+
+	"phantom/internal/telemetry"
 )
 
 func benchTable1(b *testing.B, arch Microarch) {
@@ -266,6 +269,27 @@ func BenchmarkSweepTable3_NWorkers(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	benchTable3Sweep(b, runtime.GOMAXPROCS(0))
 }
+
+// Telemetry overhead benchmarks: the same Table 1 workload with the hub
+// disabled vs fully enabled (run log and progress into discard sinks).
+// Machines batch counter deltas at Run boundaries, so the enabled cost
+// must stay within noise of the nil-check-only disabled path — the
+// BENCH_*_telemetry.json files in the repo pin the measured gap.
+
+func benchTable1Telemetry(b *testing.B, enabled bool) {
+	if enabled {
+		telemetry.Enable(telemetry.Config{
+			RunLog:   io.Discard,
+			Progress: io.Discard,
+			Label:    "bench",
+		})
+		defer telemetry.Disable() //nolint:errcheck // discard sink
+	}
+	benchTable1(b, Zen2)
+}
+
+func BenchmarkTable1Telemetry_Off(b *testing.B) { benchTable1Telemetry(b, false) }
+func BenchmarkTable1Telemetry_On(b *testing.B)  { benchTable1Telemetry(b, true) }
 
 // Substrate micro-benchmarks: the cost of the simulator primitives the
 // experiments are built from.

@@ -9,6 +9,9 @@
 //	phantom-asm -asm 'mov rax, 42; jmp *rdi'
 //	echo 'loop: add rax, 1; jmp loop' | phantom-asm -asm -
 //	phantom-asm -kernel
+//
+// Exit codes: 0 on success, 1 on runtime errors, 2 on usage errors
+// (no mode selected, or bad flags) — matching cmd/phantom.
 package main
 
 import (
@@ -25,39 +28,45 @@ import (
 )
 
 func main() {
-	hexStr := flag.String("hex", "", "hex bytes to disassemble (spaces optional)")
-	asmSrc := flag.String("asm", "", "assembly source to assemble ('-' reads stdin)")
-	dumpKernel := flag.Bool("kernel", false, "disassemble the simulated kernel's gadget sites")
-	base := flag.Uint64("base", 0x400000, "virtual base address")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
+// realMain runs the CLI and returns the process exit code.
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phantom-asm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hexStr := fs.String("hex", "", "hex bytes to disassemble (spaces optional)")
+	asmSrc := fs.String("asm", "", "assembly source to assemble ('-' reads stdin)")
+	dumpKernel := fs.Bool("kernel", false, "disassemble the simulated kernel's gadget sites")
+	base := fs.Uint64("base", 0x400000, "virtual base address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var err error
 	switch {
 	case *hexStr != "":
-		if err := disasmHex(*hexStr, *base); err != nil {
-			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
-			os.Exit(1)
-		}
+		err = disasmHex(stdout, *hexStr, *base)
 	case *asmSrc != "":
-		if err := assembleText(*asmSrc, *base); err != nil {
-			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
-			os.Exit(1)
-		}
+		err = assembleText(stdout, stdin, *asmSrc, *base)
 	case *dumpKernel:
-		if err := dumpGadgets(); err != nil {
-			fmt.Fprintf(os.Stderr, "phantom-asm: %v\n", err)
-			os.Exit(1)
-		}
+		err = dumpGadgets(stdout)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	if err != nil {
+		fmt.Fprintf(stderr, "phantom-asm: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // assembleText assembles source (or stdin when src is "-") and prints the
 // machine code alongside its disassembly.
-func assembleText(src string, base uint64) error {
+func assembleText(w io.Writer, stdin io.Reader, src string, base uint64) error {
 	if src == "-" {
-		b, err := io.ReadAll(os.Stdin)
+		b, err := io.ReadAll(stdin)
 		if err != nil {
 			return err
 		}
@@ -67,21 +76,21 @@ func assembleText(src string, base uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d bytes at %#x\n", len(blob), base)
+	fmt.Fprintf(w, "%d bytes at %#x\n", len(blob), base)
 	for _, line := range isa.Disassemble(blob, base) {
-		fmt.Println(line)
+		fmt.Fprintln(w, line)
 	}
 	if len(syms) > 0 {
-		fmt.Println("symbols:")
+		fmt.Fprintln(w, "symbols:")
 		for _, s := range syms {
-			fmt.Printf("  %#012x %s\n", s.Addr, s.Name)
+			fmt.Fprintf(w, "  %#012x %s\n", s.Addr, s.Name)
 		}
 	}
-	fmt.Printf("hex: %x\n", blob)
+	fmt.Fprintf(w, "hex: %x\n", blob)
 	return nil
 }
 
-func disasmHex(s string, base uint64) error {
+func disasmHex(w io.Writer, s string, base uint64) error {
 	s = strings.NewReplacer(" ", "", "\t", "", "\n", "", "0x", "").Replace(s)
 	if len(s)%2 != 0 {
 		return fmt.Errorf("odd-length hex string")
@@ -96,12 +105,12 @@ func disasmHex(s string, base uint64) error {
 		}
 	}
 	for _, line := range isa.Disassemble(blob, base) {
-		fmt.Println(line)
+		fmt.Fprintln(w, line)
 	}
 	return nil
 }
 
-func dumpGadgets() error {
+func dumpGadgets(w io.Writer) error {
 	k, err := kernel.Boot(uarch.Zen2(), kernel.Config{Seed: 1, NoiseLevel: 0})
 	if err != nil {
 		return err
@@ -122,7 +131,7 @@ func dumpGadgets() error {
 	}
 	for _, s := range sites {
 		va := k.Symbol(s.label)
-		fmt.Printf("--- %s — %s ---\n", s.name, s.ref)
+		fmt.Fprintf(w, "--- %s — %s ---\n", s.name, s.ref)
 		blob, err := readKernel(k, va, s.n*10)
 		if err != nil {
 			return err
@@ -130,10 +139,10 @@ func dumpGadgets() error {
 		off := 0
 		for i := 0; i < s.n && off < len(blob); i++ {
 			in := isa.Decode(blob[off:])
-			fmt.Printf("%#012x (+%#x): %v\n", va+uint64(off), va+uint64(off)-k.ImageBase, in)
+			fmt.Fprintf(w, "%#012x (+%#x): %v\n", va+uint64(off), va+uint64(off)-k.ImageBase, in)
 			off += in.Len
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -1,33 +1,62 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestDisasmHex(t *testing.T) {
-	if err := disasmHex("0f1f440000554889e5", 0x400000); err != nil {
+	if err := disasmHex(io.Discard, "0f1f440000554889e5", 0x400000); err != nil {
 		t.Fatal(err)
 	}
-	if err := disasmHex("0f 1f 44 00 00", 0); err != nil {
+	if err := disasmHex(io.Discard, "0f 1f 44 00 00", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := disasmHex("0f1", 0); err == nil {
+	if err := disasmHex(io.Discard, "0f1", 0); err == nil {
 		t.Fatal("odd-length hex accepted")
 	}
-	if err := disasmHex("zz", 0); err == nil {
+	if err := disasmHex(io.Discard, "zz", 0); err == nil {
 		t.Fatal("non-hex accepted")
 	}
 }
 
 func TestDumpGadgets(t *testing.T) {
-	if err := dumpGadgets(); err != nil {
+	if err := dumpGadgets(io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestAssembleText(t *testing.T) {
-	if err := assembleText("start: mov rax, 1; jmp start", 0x400000); err != nil {
+	if err := assembleText(io.Discard, nil, "start: mov rax, 1; jmp start", 0x400000); err != nil {
 		t.Fatal(err)
 	}
-	if err := assembleText("bogus", 0); err == nil {
+	if err := assembleText(io.Discard, nil, "bogus", 0); err == nil {
 		t.Fatal("bad source accepted")
+	}
+	if err := assembleText(io.Discard, strings.NewReader("mov rax, 7"), "-", 0); err != nil {
+		t.Fatalf("stdin source: %v", err)
+	}
+}
+
+// TestExitCodes pins the CLI convention shared by all three binaries:
+// 0 success, 1 runtime error, 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no mode", nil, 2},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad hex", []string{"-hex", "zz"}, 1},
+		{"bad asm", []string{"-asm", "bogus"}, 1},
+		{"good hex", []string{"-hex", "0f1f440000"}, 0},
+		{"good asm", []string{"-asm", "mov rax, 1"}, 0},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args, strings.NewReader(""), io.Discard, io.Discard); got != c.want {
+			t.Errorf("%s: realMain(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
 	}
 }

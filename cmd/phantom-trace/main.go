@@ -9,11 +9,14 @@
 // Usage:
 //
 //	phantom-trace [-arch zen2] [-seed 1]
+//
+// Exit codes: 0 on success, 1 on runtime errors, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"phantom/internal/btb"
@@ -24,16 +27,27 @@ import (
 )
 
 func main() {
-	archName := flag.String("arch", "zen2", "microarchitecture (zen1..zen4, intel9..intel13)")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
-	if err := run(*archName, *seed); err != nil {
-		fmt.Fprintf(os.Stderr, "phantom-trace: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(archName string, seed int64) error {
+// realMain runs the CLI and returns the process exit code. The trace
+// goes to stdout so tests (and shell pipelines) can capture it.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phantom-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	archName := fs.String("arch", "zen2", "microarchitecture (zen1..zen4, intel9..intel13)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := run(stdout, *archName, *seed); err != nil {
+		fmt.Fprintf(stderr, "phantom-trace: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func run(w io.Writer, archName string, seed int64) error {
 	p, err := uarch.ByName(archName)
 	if err != nil {
 		return err
@@ -87,18 +101,18 @@ func run(archName string, seed int64) error {
 		return err
 	}
 
-	fmt.Printf("Phantom speculation demo on %s\n", p)
-	fmt.Printf("  training source A: %#x (jmp* rdi)\n", trainVA)
-	fmt.Printf("  victim B:          %#x (nops; BTB-aliased with A)\n", victimVA)
-	fmt.Printf("  target C:          %#x (load [r8]; hlt)\n\n", targetVA)
+	fmt.Fprintf(w, "Phantom speculation demo on %s\n", p)
+	fmt.Fprintf(w, "  training source A: %#x (jmp* rdi)\n", trainVA)
+	fmt.Fprintf(w, "  victim B:          %#x (nops; BTB-aliased with A)\n", victimVA)
+	fmt.Fprintf(w, "  target C:          %#x (load [r8]; hlt)\n\n", targetVA)
 
 	tracer := pipeline.NewRingTracer(512)
 	m.Tracer = tracer
 
-	fmt.Println("--- training run (architectural jmp* to C) ---")
+	fmt.Fprintln(w, "--- training run (architectural jmp* to C) ---")
 	m.Regs[isa.RDI] = targetVA
 	m.Regs[isa.R8] = probeVA
-	trace(m, trainVA, 8)
+	trace(w, m, trainVA, 8)
 
 	// Prime the observation state.
 	cPA, _ := m.UserAS.Translate(targetVA, mem.AccessRead, false)
@@ -107,33 +121,33 @@ func run(archName string, seed int64) error {
 	m.Hier.FlushLine(pPA)
 	m.Uop.Flush(targetVA)
 
-	fmt.Println("\n--- victim run (decoder-detectable misprediction at B) ---")
+	fmt.Fprintln(w, "\n--- victim run (decoder-detectable misprediction at B) ---")
 	pre := m.Debug
 	tracer.Reset()
 	m.Regs[isa.R8] = probeVA
-	trace(m, victimVA, 8)
+	trace(w, m, victimVA, 8)
 
-	fmt.Println("\n--- pipeline event stream of the victim run ---")
+	fmt.Fprintln(w, "\n--- pipeline event stream of the victim run ---")
 	for _, e := range tracer.Events() {
-		fmt.Printf("  %v\n", e)
+		fmt.Fprintf(w, "  %v\n", e)
 	}
 
 	d := m.Debug
-	fmt.Println("\n--- attacker-visible performance counters ---")
-	fmt.Printf("  %v\n", m.Perf)
-	fmt.Println("--- simulator ground truth (not attacker-visible) ---")
-	fmt.Printf("  frontend resteers: %d\n", d.FrontendResteers-pre.FrontendResteers)
-	fmt.Printf("  transient fetch lines: %d\n", d.TransientFetchLines-pre.TransientFetchLines)
-	fmt.Printf("  transient decodes:     %d\n", d.TransientDecodes-pre.TransientDecodes)
-	fmt.Printf("  transient µops:        %d\n", d.TransientUops-pre.TransientUops)
-	fmt.Printf("  transient loads:       %d\n", d.TransientLoads-pre.TransientLoads)
+	fmt.Fprintln(w, "\n--- attacker-visible performance counters ---")
+	fmt.Fprintf(w, "  %v\n", m.Perf)
+	fmt.Fprintln(w, "--- simulator ground truth (not attacker-visible) ---")
+	fmt.Fprintf(w, "  frontend resteers: %d\n", d.FrontendResteers-pre.FrontendResteers)
+	fmt.Fprintf(w, "  transient fetch lines: %d\n", d.TransientFetchLines-pre.TransientFetchLines)
+	fmt.Fprintf(w, "  transient decodes:     %d\n", d.TransientDecodes-pre.TransientDecodes)
+	fmt.Fprintf(w, "  transient µops:        %d\n", d.TransientUops-pre.TransientUops)
+	fmt.Fprintf(w, "  transient loads:       %d\n", d.TransientLoads-pre.TransientLoads)
 
-	fmt.Println("\n--- observation channels after the victim run ---")
+	fmt.Fprintln(w, "\n--- observation channels after the victim run ---")
 	lat, ok := m.TimedFetch(targetVA)
-	fmt.Printf("  IF: timed fetch of C = %d cycles (ok=%v)  -> %s\n", lat, ok, verdict(lat < p.MemLatency/2))
-	fmt.Printf("  ID: C in µop cache = %v\n", m.Uop.Present(targetVA))
+	fmt.Fprintf(w, "  IF: timed fetch of C = %d cycles (ok=%v)  -> %s\n", lat, ok, verdict(lat < p.MemLatency/2))
+	fmt.Fprintf(w, "  ID: C in µop cache = %v\n", m.Uop.Present(targetVA))
 	dlat, _ := m.TimedLoad(probeVA)
-	fmt.Printf("  EX: timed load of probe = %d cycles       -> %s\n", dlat, verdict(dlat < p.MemLatency/2))
+	fmt.Fprintf(w, "  EX: timed load of probe = %d cycles       -> %s\n", dlat, verdict(dlat < p.MemLatency/2))
 	return nil
 }
 
@@ -146,7 +160,7 @@ func verdict(sig bool) string {
 
 // trace single-steps from entry, printing each instruction with its cycle
 // cost.
-func trace(m *pipeline.Machine, entry uint64, limit int) {
+func trace(w io.Writer, m *pipeline.Machine, entry uint64, limit int) {
 	m.RIP = entry
 	for i := 0; i < limit; i++ {
 		va := m.RIP
@@ -154,9 +168,9 @@ func trace(m *pipeline.Machine, entry uint64, limit int) {
 		in := isa.Decode(blob)
 		before := m.Cycle
 		res := m.Run(1)
-		fmt.Printf("  %#012x: %-24v %4d cycles\n", va, in, m.Cycle-before)
+		fmt.Fprintf(w, "  %#012x: %-24v %4d cycles\n", va, in, m.Cycle-before)
 		if res.Reason != pipeline.StopLimit {
-			fmt.Printf("  -> %v\n", res)
+			fmt.Fprintf(w, "  -> %v\n", res)
 			return
 		}
 	}

@@ -1,14 +1,72 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
 
 func TestTraceDemoRuns(t *testing.T) {
 	for _, arch := range []string{"zen1", "zen2", "zen4", "intel13"} {
-		if err := run(arch, 1); err != nil {
+		if err := run(io.Discard, arch, 1); err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
 	}
-	if err := run("i486", 1); err == nil {
+	if err := run(io.Discard, "i486", 1); err == nil {
 		t.Fatal("bogus arch accepted")
+	}
+}
+
+// TestExitCodes pins the CLI convention shared by all three binaries:
+// 0 success, 1 runtime error, 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"default run", nil, 0},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"bad arch", []string{"-arch", "i486"}, 1},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args, io.Discard, io.Discard); got != c.want {
+			t.Errorf("%s: realMain(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+// TestTraceGolden pins the full demo trace for zen2 at seed 1 against a
+// committed golden file. The demo is deterministic (fixed seed, noise
+// level 0), so any diff is a real behaviour change in the pipeline, the
+// decoder, or the trace formatting. Refresh intentionally with:
+//
+//	go test ./cmd/phantom-trace -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "zen2", 1); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_zen2_seed1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output diverges from %s (rerun with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
 	}
 }

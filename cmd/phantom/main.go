@@ -25,69 +25,164 @@
 // Multi-run experiments fan their (arch, reboot) jobs over a worker pool
 // of -jobs workers (default GOMAXPROCS); every run derives its own seed,
 // so the output is byte-identical whatever the pool size.
+//
+// Telemetry flags (before the experiment name):
+//
+//	phantom -metrics run.jsonl -progress -debug-addr localhost:6060 kaslr -runs 100
+//
+// -metrics writes a JSONL run log (one record per sweep job plus a final
+// summary; schema in DESIGN.md), -progress renders a live stderr status
+// line for the sweeps, and -debug-addr serves net/http/pprof and a
+// /metrics snapshot while the experiment runs. Telemetry observes the
+// harness only: experiment output stays byte-identical with it on, off,
+// or sampled (-metrics-sample N).
+//
+// Exit codes: 0 on success, 1 on runtime errors, 2 on usage errors.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"phantom"
+	"phantom/internal/telemetry"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "table1":
-		err = cmdTable1(args)
-	case "fig6":
-		err = cmdFig6(args)
-	case "fig7":
-		err = cmdFig7(args)
-	case "covert":
-		err = cmdCovert(args)
-	case "kaslr":
-		err = cmdKASLR(args)
-	case "physmap":
-		err = cmdPhysmap(args)
-	case "physaddr":
-		err = cmdPhysAddr(args)
-	case "mds":
-		err = cmdMDS(args)
-	case "mitigations":
-		err = cmdMitigations(args)
-	case "sls":
-		err = cmdSLS(args)
-	case "report":
-		err = cmdReport(args)
-	case "chain":
-		err = cmdChain(args)
-	case "all":
-		err = cmdAll(args)
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "phantom: unknown experiment %q\n\n", cmd)
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "phantom %s: %v\n", cmd, err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stderr))
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `phantom — reproduce the MICRO'23 Phantom paper on a simulated machine
+// errUsage marks command-line mistakes; realMain turns it into exit
+// code 2 (runtime failures exit 1).
+var errUsage = errors.New("usage error")
 
-usage: phantom <experiment> [flags]
+// parseFlags parses a subcommand flag set, folding parse failures into
+// the usage-error exit path.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp // usage already printed; exits 0
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	return nil
+}
+
+// realMain runs the CLI and returns the process exit code.
+func realMain(args []string, stderr io.Writer) int {
+	top := flag.NewFlagSet("phantom", flag.ContinueOnError)
+	top.SetOutput(stderr)
+	top.Usage = func() { usage(stderr) }
+	metricsPath := top.String("metrics", "", "write a JSONL telemetry run log to this file")
+	metricsSample := top.Int("metrics-sample", 1, "record every Nth sweep job in the run log and latency histogram")
+	progress := top.Bool("progress", false, "render a live sweep progress line on stderr")
+	debugAddr := top.String("debug-addr", "", "serve net/http/pprof and /metrics on this address while running")
+	if err := top.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	rest := top.Args()
+	if len(rest) == 0 {
+		usage(stderr)
+		return 2
+	}
+	cmd, cargs := rest[0], rest[1:]
+	switch cmd {
+	case "-h", "--help", "help":
+		usage(stderr)
+		return 0
+	}
+	fn, ok := runners[cmd]
+	if !ok {
+		fmt.Fprintf(stderr, "phantom: unknown experiment %q\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+
+	// Telemetry session: enabled by any of the observability flags,
+	// torn down (summary record, final progress line) before exit.
+	tcfg := telemetry.Config{Label: cmd, SampleEvery: *metricsSample, Progress: nil}
+	enable := false
+	var logFile *os.File
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "phantom: -metrics: %v\n", err)
+			return 1
+		}
+		logFile = f
+		tcfg.RunLog = f
+		enable = true
+	}
+	if *progress {
+		tcfg.Progress = stderr
+		enable = true
+	}
+	var debug *telemetry.DebugServer
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "phantom: %v\n", err)
+			return 1
+		}
+		debug = srv
+		fmt.Fprintf(stderr, "phantom: debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
+		enable = true
+	}
+	if enable {
+		telemetry.Enable(tcfg)
+	}
+
+	err := fn(cargs)
+
+	code := 0
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, errUsage):
+		fmt.Fprintf(stderr, "phantom %s: %v\n", cmd, err)
+		code = 2
+	default:
+		fmt.Fprintf(stderr, "phantom %s: %v\n", cmd, err)
+		code = 1
+	}
+	if enable {
+		if derr := telemetry.Disable(); derr != nil && code == 0 {
+			fmt.Fprintf(stderr, "phantom: telemetry: %v\n", derr)
+			code = 1
+		}
+	}
+	if logFile != nil {
+		if cerr := logFile.Close(); cerr != nil && code == 0 {
+			fmt.Fprintf(stderr, "phantom: -metrics: %v\n", cerr)
+			code = 1
+		}
+	}
+	if debug != nil {
+		debug.Close()
+	}
+	return code
+}
+
+// runners maps every experiment name to its implementation.
+var runners = map[string]func([]string) error{
+	"table1": cmdTable1, "fig6": cmdFig6, "fig7": cmdFig7,
+	"covert": cmdCovert, "kaslr": cmdKASLR, "physmap": cmdPhysmap,
+	"physaddr": cmdPhysAddr, "mds": cmdMDS, "mitigations": cmdMitigations,
+	"sls": cmdSLS, "report": cmdReport, "chain": cmdChain, "all": cmdAll,
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `phantom — reproduce the MICRO'23 Phantom paper on a simulated machine
+
+usage: phantom [-metrics file] [-progress] [-debug-addr addr] <experiment> [flags]
 
 experiments:
   table1       training×victim misprediction matrix   (Table 1)
@@ -140,13 +235,15 @@ func parseArchs(spec string) ([]phantom.Microarch, error) {
 }
 
 func cmdTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
 	arch := fs.String("arch", "all", "microarchitecture(s): name, comma list, amd, or all")
 	seed := fs.Int64("seed", 1, "random seed")
 	trials := fs.Int("trials", 6, "per-cell trials")
 	noise := fs.Float64("noise", 0, "noise level (0 = lab conditions)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -168,12 +265,14 @@ func cmdTable1(args []string) error {
 }
 
 func cmdFig6(args []string) error {
-	fs := flag.NewFlagSet("fig6", flag.ExitOnError)
+	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2,zen4", "microarchitecture(s); the paper plots zen2 and zen4")
 	seed := fs.Int64("seed", 1, "random seed")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of an ASCII chart")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -195,13 +294,15 @@ func cmdFig6(args []string) error {
 }
 
 func cmdFig7(args []string) error {
-	fs := flag.NewFlagSet("fig7", flag.ExitOnError)
+	fs := flag.NewFlagSet("fig7", flag.ContinueOnError)
 	arch := fs.String("arch", "zen3", "microarchitecture (the paper reverse engineers zen3)")
 	seed := fs.Int64("seed", 9, "random seed")
 	samples := fs.Int("samples", 22, "independent collisions to gather")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -236,14 +337,16 @@ func archNames(archs []phantom.Microarch) []string {
 }
 
 func cmdCovert(args []string) error {
-	fs := flag.NewFlagSet("covert", flag.ExitOnError)
+	fs := flag.NewFlagSet("covert", flag.ContinueOnError)
 	arch := fs.String("arch", "amd", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
 	bits := fs.Int("bits", 4096, "message bits per run")
 	runs := fs.Int("runs", 10, "runs (median reported)")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -267,13 +370,15 @@ func cmdCovert(args []string) error {
 }
 
 func cmdKASLR(args []string) error {
-	fs := flag.NewFlagSet("kaslr", flag.ExitOnError)
+	fs := flag.NewFlagSet("kaslr", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2,zen3,zen4", "microarchitecture(s); Table 3 uses zen2, zen3, zen4")
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 20, "reboots (the paper uses 100)")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -291,13 +396,15 @@ func cmdKASLR(args []string) error {
 }
 
 func cmdPhysmap(args []string) error {
-	fs := flag.NewFlagSet("physmap", flag.ExitOnError)
+	fs := flag.NewFlagSet("physmap", flag.ContinueOnError)
 	arch := fs.String("arch", "zen1,zen2", "microarchitecture(s); P2 works on zen1, zen2")
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 10, "reboots")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -315,12 +422,14 @@ func cmdPhysmap(args []string) error {
 }
 
 func cmdPhysAddr(args []string) error {
-	fs := flag.NewFlagSet("physaddr", flag.ExitOnError)
+	fs := flag.NewFlagSet("physaddr", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 20, "reboots (the paper uses 100)")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	rows, err := phantom.RunTable5(phantom.DerandOptions{Seed: *seed, Runs: *runs, Jobs: *jobs})
 	if err != nil {
 		return err
@@ -334,14 +443,16 @@ func cmdPhysAddr(args []string) error {
 }
 
 func cmdMDS(args []string) error {
-	fs := flag.NewFlagSet("mds", flag.ExitOnError)
+	fs := flag.NewFlagSet("mds", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2", "microarchitecture (the paper's PoC runs on zen2)")
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 10, "reboots")
 	bytes := fs.Int("bytes", 4096, "bytes to leak per run")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -363,11 +474,13 @@ func cmdMDS(args []string) error {
 }
 
 func cmdMitigations(args []string) error {
-	fs := flag.NewFlagSet("mitigations", flag.ExitOnError)
+	fs := flag.NewFlagSet("mitigations", flag.ContinueOnError)
 	arch := fs.String("arch", "amd", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -389,10 +502,12 @@ func cmdMitigations(args []string) error {
 }
 
 func cmdSLS(args []string) error {
-	fs := flag.NewFlagSet("sls", flag.ExitOnError)
+	fs := flag.NewFlagSet("sls", flag.ContinueOnError)
 	arch := fs.String("arch", "all", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -420,22 +535,26 @@ func cmdSLS(args []string) error {
 }
 
 func cmdReport(args []string) error {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 10, "runs per derandomization experiment")
 	bits := fs.Int("bits", 1024, "bits per covert-channel run")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = GOMAXPROCS, 1 = sequential)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	return phantom.GenerateReport(os.Stdout, phantom.ReportOptions{
 		Seed: *seed, Runs: *runs, Bits: *bits, Jobs: *jobs,
 	})
 }
 
 func cmdChain(args []string) error {
-	fs := flag.NewFlagSet("chain", flag.ExitOnError)
+	fs := flag.NewFlagSet("chain", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2", "microarchitecture")
 	seed := fs.Int64("seed", 1, "random seed")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	archs, err := parseArchs(*arch)
 	if err != nil {
 		return err
@@ -517,11 +636,13 @@ func allSteps(seed int64, runs, jobs int) [][]string {
 }
 
 func cmdAll(args []string) error {
-	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed, forwarded to every step")
 	runs := fs.Int("runs", 10, "reboots for the multi-run experiments")
 	jobs := fs.Int("jobs", 0, "parallel workers per step (0 = GOMAXPROCS, 1 = sequential)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	for _, s := range allSteps(*seed, *runs, *jobs) {
 		fmt.Printf("\n===== phantom %s =====\n", strings.Join(s, " "))
 		if err := allRunners[s[0]](s[1:]); err != nil {

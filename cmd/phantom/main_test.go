@@ -1,11 +1,102 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"phantom"
 )
+
+// TestExitCodes pins the CLI convention shared by all three binaries:
+// 0 success, 1 runtime error, 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown experiment", []string{"frobnicate"}, 2},
+		{"bad top-level flag", []string{"-definitely-not-a-flag", "table1"}, 2},
+		{"bad subcommand flag", []string{"table1", "-definitely-not-a-flag"}, 2},
+		{"help", []string{"help"}, 0},
+		{"help flag", []string{"-h"}, 0},
+		{"runtime error", []string{"mitigations", "-arch", "i486"}, 1},
+		{"bad metrics path", []string{"-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl"), "table1"}, 1},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args, io.Discard); got != c.want {
+			t.Errorf("%s: realMain(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+// TestMetricsRunLog runs a small experiment with -metrics and checks the
+// produced run log is valid JSONL ending in a summary record.
+func TestMetricsRunLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke run")
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	args := []string{"-metrics", path, "-metrics-sample", "2",
+		"kaslr", "-arch", "zen2", "-runs", "2", "-jobs", "2"}
+
+	// The experiment prints its table to stdout; silence it for the test.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	code := realMain(args, io.Discard)
+	os.Stdout = old
+	devnull.Close()
+	if code != 0 {
+		t.Fatalf("realMain(%v) = %d", args, code)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var types []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		typ, _ := rec["type"].(string)
+		if typ == "" {
+			t.Fatalf("record without type: %q", sc.Text())
+		}
+		types = append(types, typ)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) == 0 {
+		t.Fatal("empty run log")
+	}
+	if got := types[len(types)-1]; got != "summary" {
+		t.Errorf("last record type = %q, want summary", got)
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		seen[typ] = true
+	}
+	for _, want := range []string{"sweep_start", "job", "sweep_end", "summary"} {
+		if !seen[want] {
+			t.Errorf("run log has no %q record (types: %v)", want, types)
+		}
+	}
+}
 
 func TestAllStepsForwardSeedEverywhere(t *testing.T) {
 	// Regression: `phantom all -seed 42` used to forward -seed only to

@@ -8,8 +8,22 @@ import (
 	"phantom/internal/core"
 	"phantom/internal/stats"
 	"phantom/internal/sweep"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
+
+// sweepOpts builds the worker-pool options for a named sweep, attaching
+// the process telemetry observer when one is active. Telemetry is
+// purely observational (see internal/telemetry): the sweep's results —
+// and therefore every table and figure — are byte-identical with the
+// observer attached, absent, or sampling.
+func sweepOpts(name string, n, jobs int) sweep.Options {
+	o := sweep.Options{Jobs: jobs}
+	if s := telemetry.Sweep(name, n); s != nil {
+		o.Observer = s
+	}
+	return o
+}
 
 // StageReach mirrors the paper's per-cell Table 1 annotation: which
 // pipeline stages the mispredicted control flow observably entered.
@@ -136,7 +150,7 @@ type Fig6Series struct {
 // size (0 = GOMAXPROCS). The series come back in archs order, identical
 // to running RunFig6 serially.
 func RunFig6Sweep(archs []Microarch, seed int64, jobs int) ([]*Fig6Series, error) {
-	return sweep.Run(context.Background(), len(archs), sweep.Options{Jobs: jobs},
+	return sweep.Run(context.Background(), len(archs), sweepOpts("fig6", len(archs), jobs),
 		func(_ context.Context, i int) (*Fig6Series, error) {
 			return RunFig6(archs[i], seed)
 		})
@@ -210,7 +224,7 @@ type Fig7Options struct {
 // RunFig7Sweep runs the Figure 7 recovery on several microarchitectures
 // in parallel (opts.Jobs workers), returning results in archs order.
 func RunFig7Sweep(archs []Microarch, opts Fig7Options) ([]*Fig7, error) {
-	return sweep.Run(context.Background(), len(archs), sweep.Options{Jobs: opts.Jobs},
+	return sweep.Run(context.Background(), len(archs), sweepOpts("fig7", len(archs), opts.Jobs),
 		func(_ context.Context, i int) (*Fig7, error) {
 			return RunFig7(archs[i], opts)
 		})
@@ -325,7 +339,7 @@ func runTable2(archs []Microarch, opts Table2Options,
 	// depend only on the job index and the parallel table is identical to
 	// the sequential one.
 	type sample struct{ acc, rate float64 }
-	samples, err := sweep.Run(context.Background(), len(archs)*opts.Runs, sweep.Options{Jobs: opts.Jobs},
+	samples, err := sweep.Run(context.Background(), len(archs)*opts.Runs, sweepOpts("table2", len(archs)*opts.Runs, opts.Jobs),
 		func(_ context.Context, i int) (sample, error) {
 			arch, r := archs[i/opts.Runs], i%opts.Runs
 			p, err := arch.profile()
@@ -412,8 +426,8 @@ type derandRun struct {
 // configs × runs reboots — and returns the outcomes grouped by config,
 // reboots in run order. do must derive all randomness from its job
 // coordinates so the grouping is independent of the pool size.
-func sweepDerand(n, runs, jobs int, do func(cfgIdx, r int) (derandRun, error)) ([][]derandRun, error) {
-	flat, err := sweep.Run(context.Background(), n*runs, sweep.Options{Jobs: jobs},
+func sweepDerand(name string, n, runs, jobs int, do func(cfgIdx, r int) (derandRun, error)) ([][]derandRun, error) {
+	flat, err := sweep.Run(context.Background(), n*runs, sweepOpts(name, n*runs, jobs),
 		func(_ context.Context, i int) (derandRun, error) {
 			return do(i/runs, i%runs)
 		})
@@ -449,7 +463,7 @@ func RunTable3(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 20
 	}
-	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand("table3", len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
 			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*31, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
@@ -477,7 +491,7 @@ func RunTable4(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 10
 	}
-	grouped, err := sweepDerand(len(archs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand("table4", len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
 			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*37, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
@@ -517,7 +531,7 @@ func RunTable5(opts DerandOptions) ([]DerandRow, error) {
 		{Zen1, 8 << 30},
 		{Zen2, 64 << 30},
 	}
-	grouped, err := sweepDerand(len(configs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand("table5", len(configs), opts.Runs, opts.Jobs,
 		func(ci, r int) (derandRun, error) {
 			c := configs[ci]
 			sys, err := NewSystem(c.arch, SystemConfig{Seed: opts.Seed + int64(r)*41, PhysBytes: c.mem, DisablePredecode: opts.DisablePredecode})
@@ -606,7 +620,7 @@ func RunMDSExperiment(arch Microarch, opts MDSOptions) (*MDSReport, error) {
 	type leakRun struct {
 		acc, rate float64
 	}
-	outcomes, err := sweep.Run(context.Background(), opts.Runs, sweep.Options{Jobs: opts.Jobs},
+	outcomes, err := sweep.Run(context.Background(), opts.Runs, sweepOpts("mds", opts.Runs, opts.Jobs),
 		func(_ context.Context, r int) (leakRun, error) {
 			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43, DisablePredecode: opts.DisablePredecode})
 			if err != nil {

@@ -9,6 +9,7 @@ import (
 	"phantom/internal/kernel"
 	"phantom/internal/mem"
 	"phantom/internal/pipeline"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -180,6 +181,7 @@ type BruteForceResult struct {
 // the paper's experience ("this approach does not yield any results ...
 // when flipping up to 6 bits").
 func BruteForceCollisions(p *uarch.Profile, seed int64, maxFlips int, budget int) (*BruteForceResult, error) {
+	telemetry.CountExperiment("btb_bruteforce")
 	lab, err := newCollideLab(p, seed)
 	if err != nil {
 		return nil, err
@@ -259,6 +261,7 @@ type RecoveryResult struct {
 // low-weight enumeration under the same "at most n coefficients"
 // constraint (n = 4 in the paper).
 func RecoverBTBFunctions(p *uarch.Profile, seed int64, wantSamples, maxBatches int) (*RecoveryResult, error) {
+	telemetry.CountExperiment("btb_recovery")
 	lab, err := newCollideLab(p, seed)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"phantom/internal/kernel"
 	"phantom/internal/stats"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -139,6 +140,7 @@ const covertISet = 33
 // attacker primes an instruction-cache set, injects a prediction to T_b at
 // a direct branch of the covert kernel module, invokes it, and probes.
 func RunCovertFetch(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
+	telemetry.CountExperiment("covert_fetch")
 	cfg = cfg.withDefaults()
 	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise, DisablePredecode: cfg.DisablePredecode})
 	if err != nil {
@@ -177,6 +179,7 @@ func RunCovertFetch(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
 // (physmap) or unmapped kernel memory. Works only where Phantom
 // speculation reaches execute — AMD Zen 1 and Zen 2.
 func RunCovertExecute(p *uarch.Profile, cfg CovertConfig) (*CovertResult, error) {
+	telemetry.CountExperiment("covert_execute")
 	cfg = cfg.withDefaults()
 	k, err := kernel.Boot(p, kernel.Config{Seed: cfg.Seed, NoiseLevel: cfg.Noise, DisablePredecode: cfg.DisablePredecode})
 	if err != nil {

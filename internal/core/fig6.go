@@ -5,6 +5,7 @@ import (
 
 	"phantom/internal/btb"
 	"phantom/internal/isa"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -53,6 +54,7 @@ const seriesLen = 8
 // C's page offset sweeps across the page, and only when it matches the
 // jmp-series' µop-cache set do re-runs of the series show misses.
 func RunFig6(p *uarch.Profile, cfg Fig6Config) ([]Fig6Point, error) {
+	telemetry.CountExperiment("fig6")
 	cfg = cfg.withDefaults()
 	var points []Fig6Point
 	for off := uint64(0); off < 0x1000; off += cfg.Step {

@@ -5,6 +5,7 @@ import (
 
 	"phantom/internal/kernel"
 	"phantom/internal/mem"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -63,6 +64,7 @@ func (c ImageKASLRConfig) withDefaults() ImageKASLRConfig {
 // the true location both consumes the prediction (BTB collision with the
 // really-executing nop) and has a mapped, executable target.
 func BreakImageKASLR(k *kernel.Kernel, cfg ImageKASLRConfig) (*KASLRResult, error) {
+	telemetry.CountExperiment("kaslr_image")
 	cfg = cfg.withDefaults()
 	m := k.M
 	a, err := NewAttack(k)
@@ -174,6 +176,7 @@ type PhysmapKASLRConfig struct {
 // whose hit in a primed L2 set marks mapped memory. Candidates are
 // scanned in ascending order and the first signal is the base.
 func BreakPhysmapKASLR(k *kernel.Kernel, cfg PhysmapKASLRConfig) (*KASLRResult, error) {
+	telemetry.CountExperiment("kaslr_physmap")
 	m := k.M
 	a, err := NewAttack(k)
 	if err != nil {
@@ -293,6 +296,7 @@ type PhysAddrConfig struct {
 // ("We can verify if P_g is correct using Flush+Reload on address A").
 // It returns the discovered physical address of the huge page.
 func FindPhysAddr(k *kernel.Kernel, cfg PhysAddrConfig) (*KASLRResult, uint64, error) {
+	telemetry.CountExperiment("physaddr")
 	m := k.M
 	a, err := NewAttack(k)
 	if err != nil {

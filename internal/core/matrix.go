@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -65,6 +66,7 @@ func symmetricCell(train, victim BranchKind) (bool, string) {
 // RunMatrix reproduces Table 1 for one profile: every training/victim
 // combination, measured through the IF/ID/EX observation channels.
 func RunMatrix(p *uarch.Profile, cfg MatrixConfig) (*MatrixResult, error) {
+	telemetry.CountExperiment("matrix")
 	res := &MatrixResult{Profile: p}
 	for tr := BranchKind(0); tr < NumKinds; tr++ {
 		for vi := BranchKind(0); vi < NumKinds; vi++ {

@@ -5,6 +5,7 @@ import (
 
 	"phantom/internal/kernel"
 	"phantom/internal/stats"
+	"phantom/internal/telemetry"
 )
 
 // MDSLeakConfig tunes the Section 7.4 exploit.
@@ -49,6 +50,7 @@ type MDSLeakResult struct {
 // byte by byte for cfg.Bytes. Ground truth for the accuracy tally comes
 // from reading the same range through the simulator's kernel view.
 func LeakKernelMemory(k *kernel.Kernel, startVA uint64, cfg MDSLeakConfig) (*MDSLeakResult, error) {
+	telemetry.CountExperiment("mds_leak")
 	return leakKernelMemory(k, startVA, cfg, true)
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"phantom/internal/kernel"
 	"phantom/internal/stats"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -51,6 +52,7 @@ type MitigationReport struct {
 
 // EvaluateMitigations runs the mitigation experiments on one profile.
 func EvaluateMitigations(p *uarch.Profile, seed int64) (*MitigationReport, error) {
+	telemetry.CountExperiment("mitigations")
 	rep := &MitigationReport{
 		Profile:           p.String(),
 		SuppressSupported: p.SupportsSuppressBPOnNonBr,

@@ -5,6 +5,7 @@ import (
 
 	"phantom/internal/isa"
 	"phantom/internal/stats"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -42,6 +43,7 @@ func (r *SpectreV2Result) String() string {
 // execute — because same-class indirect mispredictions resolve at the
 // backend.
 func RunSpectreV2(p *uarch.Profile, seed int64, nbytes int) (*SpectreV2Result, error) {
+	telemetry.CountExperiment("spectre_v2")
 	env := newUserEnv(p, seed)
 	m := env.m
 	if nbytes <= 0 {

@@ -31,6 +31,7 @@ import (
 	"phantom/internal/cache"
 	"phantom/internal/isa"
 	"phantom/internal/mem"
+	"phantom/internal/telemetry"
 	"phantom/internal/uarch"
 )
 
@@ -99,6 +100,13 @@ type Machine struct {
 	pre   predecodeCache
 	fmemo fetchMemo
 
+	// tstat/tshard/tlast batch harness-side interpreter tallies into
+	// the process telemetry hub at Run boundaries (telemetry.go). All
+	// nil/zero when telemetry is disabled.
+	tstat  *telemetry.PipelineStats
+	tshard int
+	tlast  telemetryBaseline
+
 	// stopScratch backs the *RunResult returned by step/exec/fault so
 	// the interpreter's stop path doesn't heap-allocate. Run copies the
 	// value out before the next step can overwrite it. faultScratch
@@ -152,6 +160,7 @@ func New(p *uarch.Profile, physBytes uint64, seed int64) *Machine {
 	m.lastFetchLine = ^uint64(0)
 	m.lastUopLine = ^uint64(0)
 	m.pre = newPredecodeCache()
+	m.attachTelemetry()
 	return m
 }
 
@@ -243,6 +252,7 @@ func (m *Machine) fetchBytes(va uint64, n int) ([]byte, *mem.Fault) {
 // latency in cycles (the Prime+Probe / Evict+Time primitive on the
 // I-cache). Unmapped or non-executable targets return ok=false.
 func (m *Machine) TimedFetch(va uint64) (int, bool) {
+	m.countTimedProbe()
 	pa, f := m.AS().Translate(va, mem.AccessFetch, !m.Kernel)
 	if f != nil {
 		return 0, false
@@ -259,6 +269,7 @@ func (m *Machine) TimedFetch(va uint64) (int, bool) {
 // TimedLoad performs a user-mode data load of va and returns its latency
 // in cycles (Prime+Probe / Flush+Reload on the data side).
 func (m *Machine) TimedLoad(va uint64) (int, bool) {
+	m.countTimedProbe()
 	pa, f := m.AS().Translate(va, mem.AccessRead, !m.Kernel)
 	if f != nil {
 		return 0, false

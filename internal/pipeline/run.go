@@ -57,10 +57,13 @@ func (m *Machine) Run(limit int) RunResult {
 	for steps := 0; steps < limit; steps++ {
 		if stop := m.step(); stop != nil {
 			stop.Steps = steps + 1
-			return *stop
+			r := *stop
+			m.flushTelemetry()
+			return r
 		}
 		m.Noise.Tick()
 	}
+	m.flushTelemetry()
 	return RunResult{Reason: StopLimit, Steps: limit}
 }
 

@@ -18,7 +18,28 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 )
+
+// Observer receives job-lifecycle callbacks from Run. Observers are
+// purely observational — they see indexes, wall-clock durations and
+// errors, never results — so they cannot change what a sweep computes;
+// the telemetry package's SweepScope is the canonical implementation.
+// Callbacks arrive concurrently from all workers and must be safe for
+// concurrent use.
+type Observer interface {
+	// SweepStart fires once before any job, with the job count and the
+	// resolved pool size.
+	SweepStart(total, workers int)
+	// JobStart fires when a worker picks job i off the queue.
+	JobStart(job, worker int)
+	// JobDone fires when a job returns; d is harness wall-clock time
+	// and err is the job's error (including context cancellation for
+	// jobs skipped after a failure).
+	JobDone(job, worker int, d time.Duration, err error)
+	// SweepEnd fires once after all workers drain.
+	SweepEnd()
+}
 
 // Options tunes a sweep.
 type Options struct {
@@ -26,6 +47,10 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). One runs the jobs sequentially in index
 	// order.
 	Jobs int
+	// Observer, when non-nil, receives job-lifecycle callbacks. The
+	// sweep's results and their order are identical with or without an
+	// observer; only the callbacks (and their time.Now reads) differ.
+	Observer Observer
 }
 
 // workers resolves the pool size for n jobs.
@@ -58,28 +83,41 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	obs := opts.Observer
+	workers := opts.workers(n)
+	if obs != nil {
+		obs.SweepStart(n, workers)
+		defer obs.SweepEnd()
+	}
 	results := make([]T, n)
 	errs := make([]error, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(n); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
+				var start time.Time
+				if obs != nil {
+					obs.JobStart(i, w)
+					start = time.Now()
 				}
-				v, err := fn(ctx, i)
-				if err != nil {
-					errs[i] = err
-					cancel()
-					continue
+				err := ctx.Err()
+				if err == nil {
+					var v T
+					if v, err = fn(ctx, i); err == nil {
+						results[i] = v
+					} else {
+						cancel()
+					}
 				}
-				results[i] = v
+				errs[i] = err
+				if obs != nil {
+					obs.JobDone(i, w, time.Since(start), err)
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		jobs <- i

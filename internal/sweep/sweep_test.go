@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunIndexOrder(t *testing.T) {
@@ -146,5 +148,120 @@ func TestWorkersResolution(t *testing.T) {
 		if got := (Options{Jobs: c.jobs}).workers(c.n); got != c.want {
 			t.Errorf("Options{Jobs:%d}.workers(%d) = %d, want %d", c.jobs, c.n, got, c.want)
 		}
+	}
+}
+
+// recordingObserver collects callbacks for TestObserverCallbacks. All
+// methods are mutex-guarded because workers call them concurrently.
+type recordingObserver struct {
+	mu         sync.Mutex
+	startTotal int
+	startPool  int
+	started    map[int]int // job -> worker
+	done       map[int]error
+	ended      int
+}
+
+func (o *recordingObserver) SweepStart(total, workers int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.startTotal, o.startPool = total, workers
+	o.started = make(map[int]int)
+	o.done = make(map[int]error)
+}
+
+func (o *recordingObserver) JobStart(job, worker int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.started[job] = worker
+}
+
+func (o *recordingObserver) JobDone(job, worker int, d time.Duration, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if w, ok := o.started[job]; !ok || w != worker {
+		panic("JobDone without matching JobStart")
+	}
+	if d < 0 {
+		panic("negative job duration")
+	}
+	o.done[job] = err
+}
+
+func (o *recordingObserver) SweepEnd() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ended++
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	obs := &recordingObserver{}
+	got, err := Run(context.Background(), 20, Options{Jobs: 4, Observer: obs},
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.startTotal != 20 || obs.startPool != 4 {
+		t.Errorf("SweepStart(%d, %d), want (20, 4)", obs.startTotal, obs.startPool)
+	}
+	if len(obs.done) != 20 || obs.ended != 1 {
+		t.Errorf("%d JobDone calls, %d SweepEnd calls", len(obs.done), obs.ended)
+	}
+	for job, err := range obs.done {
+		if err != nil {
+			t.Errorf("job %d reported error %v", job, err)
+		}
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d: observer changed the sweep", i, v)
+		}
+	}
+}
+
+func TestObserverSeesFailures(t *testing.T) {
+	obs := &recordingObserver{}
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 50, Options{Jobs: 2, Observer: obs},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(obs.done[3], boom) {
+		t.Errorf("observer saw %v for the failing job", obs.done[3])
+	}
+	canceled := 0
+	for _, jerr := range obs.done {
+		if errors.Is(jerr, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("observer saw no cancellation echoes after the failure")
+	}
+	if obs.ended != 1 {
+		t.Errorf("SweepEnd called %d times", obs.ended)
+	}
+}
+
+// TestObserverIdenticalResults pins the Observer contract: the same
+// sweep renders identical results with and without one attached.
+func TestObserverIdenticalResults(t *testing.T) {
+	fn := func(_ context.Context, i int) (int, error) { return 3*i + 1, nil }
+	plain, err := Run(context.Background(), 32, Options{Jobs: 8}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(context.Background(), 32, Options{Jobs: 8, Observer: &recordingObserver{}}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("observer changed sweep results")
 	}
 }

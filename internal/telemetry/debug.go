@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// DebugServer serves Go pprof profiles and the live metric snapshot
+// over HTTP for long-running sweeps (the phantom CLI's -debug-addr
+// flag). Like everything in this package it only observes: handlers
+// read registry snapshots and runtime profiles, never simulation state.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug listens on addr (host:port; port 0 picks a free one) and
+// serves:
+//
+//	/debug/pprof/...   the standard net/http/pprof handlers
+//	/metrics           the active hub's snapshot as JSON
+//	/metrics?format=text  one "name value" line per counter/gauge
+//	/healthz           "ok"
+func StartDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error {
+	d.srv.SetKeepAlivesEnabled(false)
+	return d.srv.Close()
+}
+
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := Active().Registry()
+	snap := reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTextMetrics(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // best-effort debug endpoint
+}
+
+func writeTextMetrics(w http.ResponseWriter, snap Snapshot) {
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v, ok := snap.Counters[name]; ok {
+			fmt.Fprintf(w, "%s %d\n", name, v)
+		} else {
+			fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[name])
+		}
+	}
+	for _, name := range sortedHistNames(snap) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "%s_count %d\n%s_sum %d\n", name, h.Count, name, h.Sum)
+	}
+}
+
+func sortedHistNames(snap Snapshot) []string {
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

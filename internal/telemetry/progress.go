@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progressInterval throttles live redraws: at most one render per
+// interval, plus an unconditional final render when a sweep ends.
+const progressInterval = 100 * time.Millisecond
+
+// progress renders a single live status line, carriage-return
+// overwriting itself until finish appends the final newline. It writes
+// only to the configured sink (the CLI passes stderr) and never to
+// experiment output.
+type progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	last     time.Time
+	rendered bool
+}
+
+func newProgress(w io.Writer) *progress {
+	return &progress{w: w}
+}
+
+// update redraws the line if the throttle interval has passed; force
+// bypasses the throttle (sweep start/end). Nil-safe.
+func (p *progress) update(line string, force bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if !force && now.Sub(p.last) < progressInterval {
+		return
+	}
+	p.last = now
+	p.rendered = true
+	// \r returns to column 0; \x1b[K clears the remnant of a longer
+	// previous line.
+	fmt.Fprintf(p.w, "\r%s\x1b[K", line)
+}
+
+// line ends the live line with a newline, leaving the last rendering
+// in the scrollback. Nil-safe.
+func (p *progress) line() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rendered {
+		fmt.Fprintln(p.w)
+		p.rendered = false
+	}
+}
+
+// finish closes out any live line at session end.
+func (p *progress) finish() { p.line() }
+
+// formatETA renders a duration as MM:SS (or H:MM:SS past the hour) for
+// the progress line.
+func formatETA(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	s := int(d.Round(time.Second) / time.Second)
+	if h := s / 3600; h > 0 {
+		return fmt.Sprintf("%d:%02d:%02d", h, s/60%60, s%60)
+	}
+	return fmt.Sprintf("%02d:%02d", s/60, s%60)
+}
+
+// formatRate renders jobs/second compactly (1234 -> "1.2k").
+func formatRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	case r >= 10:
+		return fmt.Sprintf("%.0f", r)
+	default:
+		return fmt.Sprintf("%.1f", r)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SweepScope observes one sweep.Run on behalf of the active hub: it
+// feeds the registry (job counts, latency histogram, queue-depth and
+// busy-worker gauges), appends per-job records to the run log, and
+// drives the live progress line. It implements sweep.Observer
+// structurally; all methods are safe for concurrent workers and
+// nil-receiver-safe, so a disabled hub costs callers nothing.
+type SweepScope struct {
+	hub   *Hub
+	name  string
+	total int
+
+	start   time.Time
+	workers int
+
+	done atomic.Int64
+	errs atomic.Int64
+	seq  atomic.Int64 // completion order, drives sampling
+
+	jobsDone   *Counter
+	jobErrors  *Counter
+	jobLatency *Histogram
+	queued     *Gauge
+	busy       *Gauge
+}
+
+// Sweep opens an observation scope for a named sweep of total jobs.
+// It returns nil when telemetry is disabled; callers pass the result
+// to sweep.Options.Observer only when non-nil (a typed-nil interface
+// would still be safe — every method checks the receiver — but a nil
+// interface lets the sweep engine skip the callbacks entirely).
+func Sweep(name string, total int) *SweepScope {
+	h := Active()
+	if h == nil {
+		return nil
+	}
+	return &SweepScope{
+		hub:        h,
+		name:       name,
+		total:      total,
+		jobsDone:   h.reg.Counter("sweep_jobs_done"),
+		jobErrors:  h.reg.Counter("sweep_job_errors"),
+		jobLatency: h.reg.Histogram("sweep_job_latency_ns"),
+		queued:     h.reg.Gauge("sweep_jobs_queued"),
+		busy:       h.reg.Gauge("sweep_workers_busy"),
+	}
+}
+
+// SweepStart records the sweep opening: job count, pool size, gauges,
+// the run-log marker and the initial progress line.
+func (s *SweepScope) SweepStart(total, workers int) {
+	if s == nil {
+		return
+	}
+	s.total = total
+	s.workers = workers
+	s.start = time.Now()
+	s.queued.Add(int64(total))
+	s.hub.log.record(record{Type: "sweep_start", Sweep: s.name, Jobs: total, Workers: workers})
+	s.hub.prog.update(s.progressLine(), true)
+}
+
+// JobStart marks a job leaving the queue for a worker.
+func (s *SweepScope) JobStart(job, worker int) {
+	if s == nil {
+		return
+	}
+	s.queued.Add(-1)
+	s.busy.Add(1)
+}
+
+// JobDone records one finished job: counters and gauges always, the
+// latency histogram and per-job run-log record subject to the hub's
+// SampleEvery thinning.
+func (s *SweepScope) JobDone(job, worker int, d time.Duration, err error) {
+	if s == nil {
+		return
+	}
+	s.busy.Add(-1)
+	s.done.Add(1)
+	s.jobsDone.Inc(worker)
+	if err != nil {
+		s.errs.Add(1)
+		s.jobErrors.Inc(worker)
+	}
+	if n := s.seq.Add(1); (n-1)%int64(s.hub.cfg.SampleEvery) == 0 {
+		s.jobLatency.Observe(worker, uint64(d))
+		r := record{
+			Type: "job", Sweep: s.name, Job: job, Worker: worker,
+			MS: float64(d) / float64(time.Millisecond),
+		}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		s.hub.log.record(r)
+	}
+	s.hub.prog.update(s.progressLine(), false)
+}
+
+// SweepEnd closes the scope: the run-log marker and a final, persistent
+// progress line.
+func (s *SweepScope) SweepEnd() {
+	if s == nil {
+		return
+	}
+	s.hub.log.record(record{
+		Type: "sweep_end", Sweep: s.name,
+		Done: int(s.done.Load()), Errors: int(s.errs.Load()),
+	})
+	s.hub.prog.update(s.progressLine(), true)
+	s.hub.prog.line()
+}
+
+// progressLine renders the live status: name, completion, throughput
+// and the ETA extrapolated from progress so far.
+func (s *SweepScope) progressLine() string {
+	done := s.done.Load()
+	elapsed := time.Since(s.start)
+	line := fmt.Sprintf("%s · job %d/%d · %d workers", s.name, done, s.total, s.workers)
+	if done > 0 && elapsed > 0 {
+		rate := float64(done) / elapsed.Seconds()
+		eta := time.Duration(float64(s.total-int(done)) / rate * float64(time.Second))
+		line += fmt.Sprintf(" · %s jobs/s · ETA %s", formatRate(rate), formatETA(eta))
+	}
+	if errs := s.errs.Load(); errs > 0 {
+		line += fmt.Sprintf(" · %d failed", errs)
+	}
+	return line
+}

@@ -1,0 +1,166 @@
+// Command coverfloor enforces per-package statement-coverage floors.
+//
+// It parses a `go test -coverprofile` file, aggregates statement counts
+// per package, compares each against the floors file, prints a summary
+// table, and exits 1 when any package is under its floor. Packages with
+// no floor line are reported but never fail the build, so new packages
+// can be added without immediately gating on them.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./internal/tools/coverfloor -profile cover.out -floors coverage.floors
+//
+// The floors file holds one "import/path minimum_percent" pair per line;
+// blank lines and #-comments are ignored. Floors are set a few points
+// below the measured value at the time they were recorded, so genuine
+// coverage regressions fail while run-to-run jitter does not.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverage profile from go test -coverprofile")
+	floorsPath := flag.String("floors", "coverage.floors", "per-package minimum coverage file")
+	flag.Parse()
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(1)
+	}
+	cov, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(cov))
+	for pkg := range cov {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	failed := 0
+	for _, pkg := range pkgs {
+		c := cov[pkg]
+		pct := 100 * float64(c.covered) / float64(c.total)
+		floor, gated := floors[pkg]
+		switch {
+		case !gated:
+			fmt.Printf("  %-32s %6.1f%%  (no floor)\n", pkg, pct)
+		case pct < floor:
+			fmt.Printf("  %-32s %6.1f%%  UNDER floor %.1f%%\n", pkg, pct, floor)
+			failed++
+		default:
+			fmt.Printf("  %-32s %6.1f%%  (floor %.1f%%)\n", pkg, pct, floor)
+		}
+	}
+	for pkg := range floors {
+		if _, ok := cov[pkg]; !ok {
+			fmt.Printf("  %-32s    --    floor %.1f%% but absent from profile\n", pkg, floors[pkg])
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("coverfloor: %d package(s) under their coverage floor\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("coverfloor: all floors hold")
+}
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	total   int
+	covered int
+}
+
+// readProfile aggregates a cover profile per package. Profile lines are
+// "file.go:startL.startC,endL.endC numStmt hitCount" after a "mode:"
+// header; the package is the file path's directory.
+func readProfile(path_ string) (map[string]*pkgCover, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cov := make(map[string]*pkgCover)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s: malformed profile line %q", path_, line)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed location %q", path_, fields[0])
+		}
+		numStmt, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad statement count in %q: %v", path_, line, err)
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad hit count in %q: %v", path_, line, err)
+		}
+		pkg := path.Dir(file)
+		c := cov[pkg]
+		if c == nil {
+			c = &pkgCover{}
+			cov[pkg] = c
+		}
+		c.total += numStmt
+		if hits > 0 {
+			c.covered += numStmt
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cov) == 0 {
+		return nil, fmt.Errorf("%s: no coverage blocks (empty profile?)", path_)
+	}
+	return cov, nil
+}
+
+// readFloors parses the "pkg percent" floors file.
+func readFloors(path_ string) (map[string]float64, error) {
+	f, err := os.Open(path_)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	floors := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package percent\", got %q", path_, lineNo, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("%s:%d: bad percentage %q", path_, lineNo, fields[1])
+		}
+		floors[fields[0]] = pct
+	}
+	return floors, sc.Err()
+}

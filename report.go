@@ -27,10 +27,75 @@ type ReportOptions struct {
 	MitigationArchs []Microarch
 }
 
+// withDefaults fills the zero-value fields with the documented defaults.
+func (o ReportOptions) withDefaults() ReportOptions {
+	if o.Runs == 0 {
+		o.Runs = 10
+	}
+	if o.Bits == 0 {
+		o.Bits = 1024
+	}
+	if o.Archs == nil {
+		o.Archs = AllMicroarchs()
+	}
+	if o.MitigationArchs == nil {
+		o.MitigationArchs = AMDMicroarchs()
+	}
+	return o
+}
+
 // paperRef holds the published value a measured row is compared against.
 type paperRef struct {
 	label string
 	paper string
+}
+
+// reportSection is one independently renderable unit of the report. Each
+// section computes its per-arch results on the worker pool, then writes
+// them in arch order, so the document is byte-identical to a fully
+// sequential generation.
+type reportSection struct {
+	Title string
+	write func(w io.Writer, opts ReportOptions) error
+}
+
+// reportSections lists the report body in document order.
+func reportSections() []reportSection {
+	return []reportSection{
+		{"Table 1 — training×victim matrix", writeTable1Section},
+		{"Figure 6 — speculative decode", writeFig6Section},
+		{"Table 2 — covert channels", writeTable2Section},
+		{"Tables 3-5 — derandomization", writeDerandSections},
+		{"Section 7.4 — MDS-gadget kernel leak (Zen 2)", writeMDSSection},
+		{"Conventional Spectre-V2 baseline", writeSpectreV2Section},
+		{"Mitigations (Sections 6.3, 8)", writeMitigationSection},
+	}
+}
+
+// ReportSectionTitles lists the section headings GenerateReport emits, in
+// order, for callers (and tests) that render sections individually.
+func ReportSectionTitles() []string {
+	var out []string
+	for _, s := range reportSections() {
+		out = append(out, s.Title)
+	}
+	return out
+}
+
+// GenerateReportSection renders the single section with the given title
+// (as listed by ReportSectionTitles), heading included, without the
+// document preamble. Sections are self-contained, so a pinned-seed golden
+// of one section stays stable while the rest of the report evolves.
+func GenerateReportSection(w io.Writer, title string, opts ReportOptions) error {
+	opts = opts.withDefaults()
+	for _, s := range reportSections() {
+		if s.Title != title {
+			continue
+		}
+		fmt.Fprintf(w, "## %s\n\n", s.Title)
+		return s.write(w, opts)
+	}
+	return fmt.Errorf("unknown report section %q", title)
 }
 
 // GenerateReport runs the evaluation and writes a self-contained Markdown
@@ -38,18 +103,7 @@ type paperRef struct {
 // the EXPERIMENTS.md content, regenerated live. Expect a few minutes at
 // default scale.
 func GenerateReport(w io.Writer, opts ReportOptions) error {
-	if opts.Runs == 0 {
-		opts.Runs = 10
-	}
-	if opts.Bits == 0 {
-		opts.Bits = 1024
-	}
-	if opts.Archs == nil {
-		opts.Archs = AllMicroarchs()
-	}
-	if opts.MitigationArchs == nil {
-		opts.MitigationArchs = AMDMicroarchs()
-	}
+	opts = opts.withDefaults()
 
 	fmt.Fprintf(w, "# Phantom reproduction report\n\n")
 	fmt.Fprintf(w, "Seed %d, %d runs per derandomization experiment, %d bits per covert run.\n",
@@ -57,12 +111,17 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	fmt.Fprintf(w, "All times and rates are simulated (nominal 3 GHz); see EXPERIMENTS.md for the\n")
 	fmt.Fprintf(w, "scale discussion. Paper columns quote MICRO '23 Tables 1-5 and Sections 6-8.\n\n")
 
-	// ---- Table 1 -------------------------------------------------------
-	// Each section computes its per-arch results on the worker pool, then
-	// writes them in arch order, so the document is byte-identical to a
-	// fully sequential generation.
-	fmt.Fprintf(w, "## Table 1 — training×victim matrix\n\n")
-	tables, err := sweep.Run(context.Background(), len(opts.Archs), sweep.Options{Jobs: opts.Jobs},
+	for _, s := range reportSections() {
+		fmt.Fprintf(w, "## %s\n\n", s.Title)
+		if err := s.write(w, opts); err != nil {
+			return fmt.Errorf("section %q: %w", s.Title, err)
+		}
+	}
+	return nil
+}
+
+func writeTable1Section(w io.Writer, opts ReportOptions) error {
+	tables, err := sweep.Run(context.Background(), len(opts.Archs), sweepOpts("report_table1", len(opts.Archs), opts.Jobs),
 		func(_ context.Context, i int) (*Table1, error) {
 			return RunTable1(opts.Archs[i], Table1Options{Seed: opts.Seed, Trials: 4})
 		})
@@ -74,9 +133,10 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	}
 	fmt.Fprintf(w, "Paper: EX on Zen 1/2 only (O3); IF+ID elsewhere (O1, O2); jmp*-victim\n")
 	fmt.Fprintf(w, "anomalies on Intel; SLS on AMD (footnote c).\n\n")
+	return nil
+}
 
-	// ---- Figure 6 ------------------------------------------------------
-	fmt.Fprintf(w, "## Figure 6 — speculative decode\n\n")
+func writeFig6Section(w io.Writer, opts ReportOptions) error {
 	fig6Archs := []Microarch{Zen2, Zen4}
 	series, err := RunFig6Sweep(fig6Archs, opts.Seed, opts.Jobs)
 	if err != nil {
@@ -96,9 +156,10 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 			arch.ModelName(), spike, s.SeriesOffset, clean)
 	}
 	fmt.Fprintf(w, "\n")
+	return nil
+}
 
-	// ---- Table 2 -------------------------------------------------------
-	fmt.Fprintf(w, "## Table 2 — covert channels\n\n")
+func writeTable2Section(w io.Writer, opts ReportOptions) error {
 	t2opts := Table2Options{Seed: opts.Seed, Bits: opts.Bits, Runs: min(opts.Runs, 10), Jobs: opts.Jobs}
 	fetchRows, err := RunTable2Fetch(AMDMicroarchs(), t2opts)
 	if err != nil {
@@ -117,9 +178,10 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 		{"zen1", "100% / 256 b/s"}, {"zen2", "99.28% / 292 b/s"},
 	}
 	writeCovertSection(w, "Execute (P2)", execRows, execPaper)
+	return nil
+}
 
-	// ---- Tables 3-5 ----------------------------------------------------
-	fmt.Fprintf(w, "## Tables 3-5 — derandomization\n\n")
+func writeDerandSections(w io.Writer, opts ReportOptions) error {
 	t3, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
 	if err != nil {
 		return err
@@ -141,9 +203,10 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	writeDerandSection(w, "Physical address (Table 5)", t5, []paperRef{
 		{"zen1", "99% / 1 s"}, {"zen2", "100% / 16 s"},
 	})
+	return nil
+}
 
-	// ---- Section 7.4 ---------------------------------------------------
-	fmt.Fprintf(w, "## Section 7.4 — MDS-gadget kernel leak (Zen 2)\n\n")
+func writeMDSSection(w io.Writer, opts ReportOptions) error {
 	mds, err := RunMDSExperiment(Zen2, MDSOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Bytes: 1024, Jobs: opts.Jobs})
 	if err != nil {
 		return err
@@ -151,11 +214,12 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	fmt.Fprintf(w, "- measured: signal in %d/%d runs, median accuracy %.2f%%, %.0f B/s (sim)\n",
 		mds.SignalRuns, mds.Runs, mds.AccuracyPct, mds.MedianBytesSec)
 	fmt.Fprintf(w, "- paper: signal in 8/10 runs, 100%% accuracy, 84 B/s\n\n")
+	return nil
+}
 
-	// ---- Baseline ------------------------------------------------------
-	fmt.Fprintf(w, "## Conventional Spectre-V2 baseline\n\n")
+func writeSpectreV2Section(w io.Writer, opts ReportOptions) error {
 	v2Archs := []Microarch{Zen2, Zen4, Intel13}
-	v2s, err := sweep.Run(context.Background(), len(v2Archs), sweep.Options{Jobs: opts.Jobs},
+	v2s, err := sweep.Run(context.Background(), len(v2Archs), sweepOpts("report_spectrev2", len(v2Archs), opts.Jobs),
 		func(_ context.Context, i int) (*core.SpectreV2Result, error) {
 			p, err := v2Archs[i].profile()
 			if err != nil {
@@ -171,10 +235,11 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	}
 	fmt.Fprintf(w, "\nThe backend-resolved window works everywhere — the contrast that makes\n")
 	fmt.Fprintf(w, "Phantom's short frontend-resteered windows the interesting case.\n\n")
+	return nil
+}
 
-	// ---- Mitigations ---------------------------------------------------
-	fmt.Fprintf(w, "## Mitigations (Sections 6.3, 8)\n\n")
-	mits, err := sweep.Run(context.Background(), len(opts.MitigationArchs), sweep.Options{Jobs: opts.Jobs},
+func writeMitigationSection(w io.Writer, opts ReportOptions) error {
+	mits, err := sweep.Run(context.Background(), len(opts.MitigationArchs), sweepOpts("report_mitigations", len(opts.MitigationArchs), opts.Jobs),
 		func(_ context.Context, i int) (*MitigationSummary, error) {
 			return RunMitigations(opts.MitigationArchs[i], opts.Seed)
 		})
