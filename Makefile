@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-smoke bench-sweep bench-telemetry
+.PHONY: build test vet race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,21 @@ bench-smoke:
 # The parallel-sweep headline number: Table 3 at 1 worker vs GOMAXPROCS.
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweepTable3' -benchtime=3x .
+
+# End-to-end gate for the serving subsystem: builds the phantom and
+# phantom-server binaries, boots the server on an ephemeral port, and
+# checks CLI/served byte parity, cache hits, batch, 8-way coalescing,
+# and SIGTERM drain from outside the process. Pure Go — no curl/jq.
+serve-smoke:
+	$(GO) run ./internal/tools/servesmoke
+
+# The serving headline numbers: cold miss vs content-addressed cache
+# hit vs 8-way coalesced, archived as a dated test2json log like the
+# other bench targets. The acceptance bar is warm >= 50x cold.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeTable1' -benchmem -json ./internal/service \
+		> BENCH_$$(date +%Y%m%d)_serve.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_$$(date +%Y%m%d)_serve.json || true
 
 # The telemetry no-perturbation overhead number (Table 1 with the hub
 # off vs on), archived as a dated JSON log like `make bench`. Runs the

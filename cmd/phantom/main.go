@@ -26,6 +26,11 @@
 // of -jobs workers (default GOMAXPROCS); every run derives its own seed,
 // so the output is byte-identical whatever the pool size.
 //
+// Text output renders through the same engine as cmd/phantom-server
+// (internal/service.Execute), so a served result is byte-identical to
+// the CLI's stdout for the same request; -json paths emit the raw
+// structures instead.
+//
 // Telemetry flags (before the experiment name):
 //
 //	phantom -metrics run.jsonl -progress -debug-addr localhost:6060 kaslr -runs 100
@@ -37,24 +42,39 @@
 // harness only: experiment output stays byte-identical with it on, off,
 // or sampled (-metrics-sample N).
 //
+// SIGINT/SIGTERM cancel the in-flight sweep jobs, flush the -metrics
+// run log (the summary record is written even for an interrupted run),
+// and exit 1 — an interrupted run leaves a readable log, not a
+// truncated one.
+//
 // Exit codes: 0 on success, 1 on runtime errors, 2 on usage errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"phantom"
+	"phantom/internal/service"
 	"phantom/internal/telemetry"
 )
 
 func main() {
-	os.Exit(realMain(os.Args[1:], os.Stderr))
+	// NotifyContext is the interrupt path: the first SIGINT/SIGTERM
+	// cancels the context (jobs unwind, telemetry flushes, exit 1); a
+	// second signal hits the now-restored default handler and kills a
+	// hung process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMainCtx(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // errUsage marks command-line mistakes; realMain turns it into exit
@@ -73,8 +93,18 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 	return nil
 }
 
-// realMain runs the CLI and returns the process exit code.
+// realMain runs the CLI and returns the process exit code (kept for
+// tests that don't exercise cancellation or capture stdout).
 func realMain(args []string, stderr io.Writer) int {
+	return realMainCtx(context.Background(), args, os.Stdout, stderr)
+}
+
+// realMainCtx is the testable CLI entry point: ctx cancellation stands
+// in for SIGINT/SIGTERM, stdout receives experiment output, stderr
+// diagnostics. Whatever cancels the run, the telemetry teardown below
+// still executes, so an interrupted -metrics run log always ends with
+// its summary record.
+func realMainCtx(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	top := flag.NewFlagSet("phantom", flag.ContinueOnError)
 	top.SetOutput(stderr)
 	top.Usage = func() { usage(stderr) }
@@ -140,7 +170,7 @@ func realMain(args []string, stderr io.Writer) int {
 		telemetry.Enable(tcfg)
 	}
 
-	err := fn(cargs)
+	err := fn(ctx, stdout, cargs)
 
 	code := 0
 	switch {
@@ -149,6 +179,9 @@ func realMain(args []string, stderr io.Writer) int {
 	case errors.Is(err, errUsage):
 		fmt.Fprintf(stderr, "phantom %s: %v\n", cmd, err)
 		code = 2
+	case errors.Is(err, context.Canceled) && ctx.Err() != nil:
+		fmt.Fprintf(stderr, "phantom %s: interrupted\n", cmd)
+		code = 1
 	default:
 		fmt.Fprintf(stderr, "phantom %s: %v\n", cmd, err)
 		code = 1
@@ -171,8 +204,11 @@ func realMain(args []string, stderr io.Writer) int {
 	return code
 }
 
-// runners maps every experiment name to its implementation.
-var runners = map[string]func([]string) error{
+// runners maps every experiment name to its implementation. Each
+// runner writes experiment output to w only — diagnostics go to the
+// process stderr — so the same functions back tests, the CLI, and
+// (through service.Execute) the server.
+var runners = map[string]func(context.Context, io.Writer, []string) error{
 	"table1": cmdTable1, "fig6": cmdFig6, "fig7": cmdFig7,
 	"covert": cmdCovert, "kaslr": cmdKASLR, "physmap": cmdPhysmap,
 	"physaddr": cmdPhysAddr, "mds": cmdMDS, "mitigations": cmdMitigations,
@@ -198,12 +234,15 @@ experiments:
   report       full paper-vs-measured Markdown report
   chain        full Section 7 exploit chain
   all          run everything with defaults
+
+serving: the same experiments are available over HTTP from the
+phantom-server binary (see EXPERIMENTS.md, "Serving mode").
 `)
 }
 
-// emitJSON pretty-prints v to stdout.
-func emitJSON(v any) error {
-	enc := json.NewEncoder(os.Stdout)
+// emitJSON pretty-prints v to w.
+func emitJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
 }
@@ -234,7 +273,17 @@ func parseArchs(spec string) ([]phantom.Microarch, error) {
 	return out, nil
 }
 
-func cmdTable1(args []string) error {
+// archNames converts a typed microarch list to the name form
+// service.Request carries.
+func archNames(archs []phantom.Microarch) []string {
+	var out []string
+	for _, a := range archs {
+		out = append(out, string(a))
+	}
+	return out
+}
+
+func cmdTable1(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
 	arch := fs.String("arch", "all", "microarchitecture(s): name, comma list, amd, or all")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -248,23 +297,24 @@ func cmdTable1(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, a := range archs {
-		tb, err := phantom.RunTable1(a, phantom.Table1Options{Seed: *seed, Trials: *trials, Noise: *noise})
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			if err := emitJSON(tb); err != nil {
+	if *asJSON {
+		for _, a := range archs {
+			tb, err := phantom.RunTable1(a, phantom.Table1Options{Context: ctx, Seed: *seed, Trials: *trials, Noise: *noise})
+			if err != nil {
 				return err
 			}
-			continue
+			if err := emitJSON(w, tb); err != nil {
+				return err
+			}
 		}
-		fmt.Println(tb)
+		return nil
 	}
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "table1", Archs: archNames(archs), Seed: *seed, Trials: *trials, Noise: *noise,
+	}, 0)
 }
 
-func cmdFig6(args []string) error {
+func cmdFig6(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2,zen4", "microarchitecture(s); the paper plots zen2 and zen4")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -277,23 +327,24 @@ func cmdFig6(args []string) error {
 	if err != nil {
 		return err
 	}
-	series, err := phantom.RunFig6Sweep(archs, *seed, *jobs)
-	if err != nil {
-		return err
-	}
-	for _, s := range series {
-		if *asJSON {
-			if err := emitJSON(s); err != nil {
+	if *asJSON {
+		series, err := phantom.RunFig6SweepCtx(ctx, archs, *seed, *jobs)
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			if err := emitJSON(w, s); err != nil {
 				return err
 			}
-			continue
 		}
-		fmt.Println(s)
+		return nil
 	}
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "fig6", Archs: archNames(archs), Seed: *seed,
+	}, *jobs)
 }
 
-func cmdFig7(args []string) error {
+func cmdFig7(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("fig7", flag.ContinueOnError)
 	arch := fs.String("arch", "zen3", "microarchitecture (the paper reverse engineers zen3)")
 	seed := fs.Int64("seed", 9, "random seed")
@@ -307,36 +358,28 @@ func cmdFig7(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !*asJSON {
-		fmt.Printf("recovering BTB functions on %s (sampling may take ~10s)...\n",
-			strings.Join(archNames(archs), ", "))
-	}
-	recovered, err := phantom.RunFig7Sweep(archs, phantom.Fig7Options{Seed: *seed, Samples: *samples, Jobs: *jobs})
-	if err != nil {
-		return err
-	}
-	for _, f := range recovered {
-		if *asJSON {
-			if err := emitJSON(f); err != nil {
+	if *asJSON {
+		recovered, err := phantom.RunFig7Sweep(archs, phantom.Fig7Options{Context: ctx, Seed: *seed, Samples: *samples, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		for _, f := range recovered {
+			if err := emitJSON(w, f); err != nil {
 				return err
 			}
-			continue
 		}
-		fmt.Println(f)
+		return nil
 	}
-	return nil
+	// Progress hint, not experiment output: stderr, so stdout stays
+	// byte-identical to the served result.
+	fmt.Fprintf(os.Stderr, "recovering BTB functions on %s (sampling may take ~10s)...\n",
+		strings.Join(archNames(archs), ", "))
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "fig7", Archs: archNames(archs), Seed: *seed, Samples: *samples,
+	}, *jobs)
 }
 
-// archNames renders a microarch list for progress messages.
-func archNames(archs []phantom.Microarch) []string {
-	var out []string
-	for _, a := range archs {
-		out = append(out, string(a))
-	}
-	return out
-}
-
-func cmdCovert(args []string) error {
+func cmdCovert(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("covert", flag.ContinueOnError)
 	arch := fs.String("arch", "amd", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -351,25 +394,24 @@ func cmdCovert(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := phantom.Table2Options{Seed: *seed, Bits: *bits, Runs: *runs, Jobs: *jobs}
-	rows, err := phantom.RunTable2Fetch(archs, opts)
-	if err != nil {
-		return err
-	}
-	execRows, err := phantom.RunTable2Execute(archs, opts)
-	if err != nil {
-		return err
-	}
 	if *asJSON {
-		return emitJSON(map[string]any{"fetch": rows, "execute": execRows})
+		opts := phantom.Table2Options{Context: ctx, Seed: *seed, Bits: *bits, Runs: *runs, Jobs: *jobs}
+		rows, err := phantom.RunTable2Fetch(archs, opts)
+		if err != nil {
+			return err
+		}
+		execRows, err := phantom.RunTable2Execute(archs, opts)
+		if err != nil {
+			return err
+		}
+		return emitJSON(w, map[string]any{"fetch": rows, "execute": execRows})
 	}
-	fmt.Print(phantom.FormatTable2("Table 2 (top) — fetch covert channel (P1)", rows))
-	fmt.Println()
-	fmt.Print(phantom.FormatTable2("Table 2 (bottom) — execute covert channel (P2)", execRows))
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "covert", Archs: archNames(archs), Seed: *seed, Bits: *bits, Runs: *runs,
+	}, *jobs)
 }
 
-func cmdKASLR(args []string) error {
+func cmdKASLR(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("kaslr", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2,zen3,zen4", "microarchitecture(s); Table 3 uses zen2, zen3, zen4")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -383,19 +425,19 @@ func cmdKASLR(args []string) error {
 	if err != nil {
 		return err
 	}
-	rows, err := phantom.RunTable3(archs, phantom.DerandOptions{Seed: *seed, Runs: *runs, Jobs: *jobs})
-	if err != nil {
-		return err
-	}
 	if *asJSON {
-		return emitJSON(rows)
+		rows, err := phantom.RunTable3(archs, phantom.DerandOptions{Context: ctx, Seed: *seed, Runs: *runs, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		return emitJSON(w, rows)
 	}
-	fmt.Print(phantom.FormatDerand(
-		fmt.Sprintf("Table 3 — kernel image KASLR via P1 (%d runs)", *runs), rows))
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "kaslr", Archs: archNames(archs), Seed: *seed, Runs: *runs,
+	}, *jobs)
 }
 
-func cmdPhysmap(args []string) error {
+func cmdPhysmap(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("physmap", flag.ContinueOnError)
 	arch := fs.String("arch", "zen1,zen2", "microarchitecture(s); P2 works on zen1, zen2")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -409,19 +451,19 @@ func cmdPhysmap(args []string) error {
 	if err != nil {
 		return err
 	}
-	rows, err := phantom.RunTable4(archs, phantom.DerandOptions{Seed: *seed, Runs: *runs, Jobs: *jobs})
-	if err != nil {
-		return err
-	}
 	if *asJSON {
-		return emitJSON(rows)
+		rows, err := phantom.RunTable4(archs, phantom.DerandOptions{Context: ctx, Seed: *seed, Runs: *runs, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		return emitJSON(w, rows)
 	}
-	fmt.Print(phantom.FormatDerand(
-		fmt.Sprintf("Table 4 — physmap KASLR via P2 (%d runs)", *runs), rows))
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "physmap", Archs: archNames(archs), Seed: *seed, Runs: *runs,
+	}, *jobs)
 }
 
-func cmdPhysAddr(args []string) error {
+func cmdPhysAddr(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("physaddr", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 20, "reboots (the paper uses 100)")
@@ -430,19 +472,19 @@ func cmdPhysAddr(args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	rows, err := phantom.RunTable5(phantom.DerandOptions{Seed: *seed, Runs: *runs, Jobs: *jobs})
-	if err != nil {
-		return err
-	}
 	if *asJSON {
-		return emitJSON(rows)
+		rows, err := phantom.RunTable5(phantom.DerandOptions{Context: ctx, Seed: *seed, Runs: *runs, Jobs: *jobs})
+		if err != nil {
+			return err
+		}
+		return emitJSON(w, rows)
 	}
-	fmt.Print(phantom.FormatDerand(
-		fmt.Sprintf("Table 5 — physical address of a user page (%d runs)", *runs), rows))
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "physaddr", Seed: *seed, Runs: *runs,
+	}, *jobs)
 }
 
-func cmdMDS(args []string) error {
+func cmdMDS(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("mds", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2", "microarchitecture (the paper's PoC runs on zen2)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -457,23 +499,24 @@ func cmdMDS(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, a := range archs {
-		rep, err := phantom.RunMDSExperiment(a, phantom.MDSOptions{Seed: *seed, Runs: *runs, Bytes: *bytes, Jobs: *jobs})
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			if err := emitJSON(rep); err != nil {
+	if *asJSON {
+		for _, a := range archs {
+			rep, err := phantom.RunMDSExperiment(a, phantom.MDSOptions{Context: ctx, Seed: *seed, Runs: *runs, Bytes: *bytes, Jobs: *jobs})
+			if err != nil {
 				return err
 			}
-			continue
+			if err := emitJSON(w, rep); err != nil {
+				return err
+			}
 		}
-		fmt.Println(rep)
+		return nil
 	}
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "mds", Archs: archNames(archs), Seed: *seed, Runs: *runs, Bytes: *bytes,
+	}, *jobs)
 }
 
-func cmdMitigations(args []string) error {
+func cmdMitigations(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("mitigations", flag.ContinueOnError)
 	arch := fs.String("arch", "amd", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -485,23 +528,24 @@ func cmdMitigations(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, a := range archs {
-		m, err := phantom.RunMitigations(a, *seed)
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			if err := emitJSON(m); err != nil {
+	if *asJSON {
+		for _, a := range archs {
+			m, err := phantom.RunMitigations(a, *seed)
+			if err != nil {
 				return err
 			}
-			continue
+			if err := emitJSON(w, m); err != nil {
+				return err
+			}
 		}
-		fmt.Println(m)
+		return nil
 	}
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "mitigations", Archs: archNames(archs), Seed: *seed,
+	}, 0)
 }
 
-func cmdSLS(args []string) error {
+func cmdSLS(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("sls", flag.ContinueOnError)
 	arch := fs.String("arch", "all", "microarchitecture(s)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -512,29 +556,12 @@ func cmdSLS(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("Straight-line speculation past an unpredicted return (Spectre-SLS,")
-	fmt.Println("Table 1 footnote c): the sequential bytes after a ret execute")
-	fmt.Println("transiently on AMD parts; Intel frontends stall instead.")
-	fmt.Println()
-	for _, a := range archs {
-		tb, err := phantom.RunTable1(a, phantom.Table1Options{Seed: *seed, Trials: 4})
-		if err != nil {
-			return err
-		}
-		var reach phantom.StageReach
-		for _, row := range tb.Cells {
-			for _, c := range row {
-				if c.Training == "non-branch" && c.Victim == "ret" {
-					reach = c.Reach
-				}
-			}
-		}
-		fmt.Printf("  %-26s %v\n", a.ModelName(), reach)
-	}
-	return nil
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "sls", Archs: archNames(archs), Seed: *seed,
+	}, 0)
 }
 
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed")
 	runs := fs.Int("runs", 10, "runs per derandomization experiment")
@@ -543,12 +570,12 @@ func cmdReport(args []string) error {
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	return phantom.GenerateReport(os.Stdout, phantom.ReportOptions{
-		Seed: *seed, Runs: *runs, Bits: *bits, Jobs: *jobs,
-	})
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "report", Seed: *seed, Runs: *runs, Bits: *bits,
+	}, *jobs)
 }
 
-func cmdChain(args []string) error {
+func cmdChain(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("chain", flag.ContinueOnError)
 	arch := fs.String("arch", "zen2", "microarchitecture")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -559,54 +586,13 @@ func cmdChain(args []string) error {
 	if err != nil {
 		return err
 	}
-	for _, a := range archs {
-		sys, err := phantom.NewSystem(a, phantom.SystemConfig{Seed: *seed})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("=== Full exploit chain on %s (seed %d) ===\n", a.ModelName(), *seed)
-		img, err := sys.BreakImageKASLR()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("1. kernel image:  %#x  correct=%v  (%.4fs sim)\n", img.Guess, img.Correct, img.Seconds)
-		pm, err := sys.BreakPhysmapKASLR(img.Guess)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("2. physmap:       %#x  correct=%v  (%.4fs sim)\n", pm.Guess, pm.Correct, pm.Seconds)
-		pa, err := sys.FindPhysAddr(img.Guess, pm.Guess)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("3. page phys:     %#x  correct=%v  (%.4fs sim)\n", pa.Guess, pa.Correct, pa.Seconds)
-		secretVA, secret := sys.SecretAddr()
-		leak, err := sys.LeakKernelMemory(secretVA, 64)
-		if err != nil {
-			// An exploit coming up empty on one boot is a chain result,
-			// not a harness error — steps 1-3 likewise report correct=false
-			// rather than aborting.
-			fmt.Printf("4. leak @ %#x: failed on this boot: %v\n", secretVA, err)
-			continue
-		}
-		fmt.Printf("4. leak @ %#x: accuracy %.2f%%, %.0f B/s sim\n", secretVA, leak.AccuracyPct, leak.BytesPerSecond)
-		fmt.Printf("   leaked: % x\n", clip(leak.Leaked, 16))
-		fmt.Printf("   truth:  % x\n", clip(secret, 16))
-	}
-	return nil
-}
-
-// clip returns at most the first n bytes of b, so a short leak result
-// prints what it has instead of panicking.
-func clip(b []byte, n int) []byte {
-	if len(b) < n {
-		return b
-	}
-	return b[:n]
+	return service.Execute(ctx, w, service.Request{
+		Experiment: "chain", Archs: archNames(archs), Seed: *seed,
+	}, 0)
 }
 
 // allRunners maps every step name cmdAll issues to its implementation.
-var allRunners = map[string]func([]string) error{
+var allRunners = map[string]func(context.Context, io.Writer, []string) error{
 	"table1": cmdTable1, "fig6": cmdFig6, "fig7": cmdFig7,
 	"covert": cmdCovert, "kaslr": cmdKASLR, "physmap": cmdPhysmap,
 	"physaddr": cmdPhysAddr, "mds": cmdMDS, "mitigations": cmdMitigations,
@@ -635,7 +621,7 @@ func allSteps(seed int64, runs, jobs int) [][]string {
 	}
 }
 
-func cmdAll(args []string) error {
+func cmdAll(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed, forwarded to every step")
 	runs := fs.Int("runs", 10, "reboots for the multi-run experiments")
@@ -644,8 +630,11 @@ func cmdAll(args []string) error {
 		return err
 	}
 	for _, s := range allSteps(*seed, *runs, *jobs) {
-		fmt.Printf("\n===== phantom %s =====\n", strings.Join(s, " "))
-		if err := allRunners[s[0]](s[1:]); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n===== phantom %s =====\n", strings.Join(s, " "))
+		if err := allRunners[s[0]](ctx, w, s[1:]); err != nil {
 			return fmt.Errorf("%s: %w", s[0], err)
 		}
 	}

@@ -2,7 +2,7 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -138,20 +138,6 @@ func TestAllStepsForwardJobsToSweeps(t *testing.T) {
 	}
 }
 
-func TestClipGuardsShortLeaks(t *testing.T) {
-	short := []byte{1, 2, 3}
-	if got := clip(short, 16); !bytes.Equal(got, short) {
-		t.Errorf("clip(short, 16) = %v", got)
-	}
-	long := make([]byte, 64)
-	if got := clip(long, 16); len(got) != 16 {
-		t.Errorf("clip(long, 16) returned %d bytes", len(got))
-	}
-	if got := clip(nil, 16); got != nil {
-		t.Errorf("clip(nil, 16) = %v", got)
-	}
-}
-
 func TestParseArchs(t *testing.T) {
 	all, err := parseArchs("all")
 	if err != nil || len(all) != 8 {
@@ -179,24 +165,79 @@ func TestExperimentsSmallRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke runs")
 	}
+	ctx := context.Background()
 	cases := [][]string{
 		{"-arch", "zen2", "-trials", "2"},
 	}
 	for _, args := range cases {
-		if err := cmdTable1(args); err != nil {
+		if err := cmdTable1(ctx, io.Discard, args); err != nil {
 			t.Errorf("table1 %v: %v", args, err)
 		}
 	}
-	if err := cmdCovert([]string{"-arch", "zen2", "-bits", "64", "-runs", "1"}); err != nil {
+	if err := cmdCovert(ctx, io.Discard, []string{"-arch", "zen2", "-bits", "64", "-runs", "1"}); err != nil {
 		t.Errorf("covert: %v", err)
 	}
-	if err := cmdKASLR([]string{"-arch", "zen2", "-runs", "2", "-jobs", "2"}); err != nil {
+	if err := cmdKASLR(ctx, io.Discard, []string{"-arch", "zen2", "-runs", "2", "-jobs", "2"}); err != nil {
 		t.Errorf("kaslr: %v", err)
 	}
-	if err := cmdMDS([]string{"-arch", "zen2", "-runs", "1", "-bytes", "64"}); err != nil {
+	if err := cmdMDS(ctx, io.Discard, []string{"-arch", "zen2", "-runs", "1", "-bytes", "64"}); err != nil {
 		t.Errorf("mds: %v", err)
 	}
-	if err := cmdChain([]string{"-arch", "zen2"}); err != nil {
+	if err := cmdChain(ctx, io.Discard, []string{"-arch", "zen2"}); err != nil {
 		t.Errorf("chain: %v", err)
 	}
+}
+
+// TestInterruptFlushesRunLog pins the interrupt contract: when the run
+// context is cancelled mid-experiment (the SIGINT/SIGTERM path in
+// main), the CLI exits 1 *and* the -metrics run log is still flushed
+// and summary-terminated. Before runners took a context, an interrupt
+// killed the process with whatever half-written log happened to be on
+// disk.
+func TestInterruptFlushesRunLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // "signal" arrives before the first sweep job
+	args := []string{"-metrics", path, "kaslr", "-arch", "zen2", "-runs", "50"}
+	if code := realMainCtx(ctx, args, io.Discard, io.Discard); code != 1 {
+		t.Fatalf("realMainCtx(cancelled, %v) = %d, want 1", args, code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("run log not written: %v", err)
+	}
+	var last map[string]any
+	lines := 0
+	for _, line := range splitLines(data) {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		last = rec
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("interrupted run left an empty run log")
+	}
+	if typ, _ := last["type"].(string); typ != "summary" {
+		t.Errorf("last record type = %q, want summary (interrupted log must still be summary-terminated)", typ)
+	}
+}
+
+// splitLines splits JSONL bytes into non-empty lines.
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
 }

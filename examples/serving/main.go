@@ -1,0 +1,105 @@
+// Serving mode: the phantom experiments behind a long-running HTTP
+// API (DESIGN.md §5d) — a content-addressed result cache, request
+// coalescing, and backpressure in front of the deterministic simulator.
+//
+// So that `go run ./examples/serving` is self-contained, this example
+// boots the same service the phantom-server binary serves, in-process
+// on an ephemeral port, and then talks to it like any HTTP client
+// would. Against a real deployment you would only keep the client
+// half — see EXPERIMENTS.md "Serving mode" for the curl equivalents.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"phantom/internal/service"
+)
+
+type result struct {
+	ID        string `json:"id"`
+	Output    string `json:"output"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+func main() {
+	// The phantom-server binary does exactly this (plus flags, telemetry
+	// and signal-driven drain) around the same service.Server.
+	srv := service.NewServer(service.Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler()) //nolint:errcheck // demo server
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving the phantom experiments at %s\n\n", base)
+
+	// A request names an experiment and its options; anything left zero
+	// takes the CLI default. This one is `phantom chain -arch zen2`.
+	req := `{"experiment":"chain","archs":["zen2"]}`
+	fmt.Printf("POST /v1/experiments  %s\n", req)
+	cold := post(base, req)
+	fmt.Printf("  -> id %s…  cached=%v\n", cold.ID[:12], cold.Cached)
+	fmt.Printf("  -> output is byte-identical to the CLI's stdout:\n\n%s\n", indent(cold.Output))
+
+	// Results are content-addressed: the same *meaning* is the same
+	// entry, however the request is spelled. Explicit defaults, alias
+	// expansion and arch order all normalize away before hashing.
+	warm := post(base, `{"experiment":"chain","archs":["zen2"],"seed":1}`)
+	fmt.Printf("repeat (explicitly spelled defaults) -> cached=%v, same id=%v\n",
+		warm.Cached, warm.ID == cold.ID)
+
+	// Identical concurrent requests collapse onto one simulation: one
+	// caller runs it, the rest ride along ("coalesced":true).
+	var wg sync.WaitGroup
+	riders := 0
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if post(base, `{"experiment":"mds","archs":["zen2"],"runs":1,"bytes":64}`).Coalesced {
+				mu.Lock()
+				riders++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("8 concurrent identical requests -> %d coalesced riders, %d simulation(s)\n",
+		riders, srv.Stats().Simulations.Load()-1) // -1: the chain run above
+
+	st := srv.CacheStats()
+	fmt.Printf("cache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+}
+
+func post(base, body string) result {
+	resp, err := http.Post(base+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %d: %s", body, resp.StatusCode, data)
+	}
+	var res result
+	if err := json.Unmarshal(data, &res); err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

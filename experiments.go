@@ -12,6 +12,19 @@ import (
 	"phantom/internal/uarch"
 )
 
+// optionsContext resolves the optional Context field every experiment
+// options struct carries: nil means context.Background(), exactly like
+// the pre-context API. The serving layer (internal/service) sets it so
+// request deadlines and client disconnects cancel the sweep jobs a
+// request is paying for; the CLI sets it so an interrupt cancels
+// mid-sweep instead of killing the process with the run log unflushed.
+func optionsContext(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // sweepOpts builds the worker-pool options for a named sweep, attaching
 // the process telemetry observer when one is active. Telemetry is
 // purely observational (see internal/telemetry): the sweep's results —
@@ -61,9 +74,12 @@ type Table1 struct {
 
 // Table1Options tunes the experiment.
 type Table1Options struct {
-	Seed   int64
-	Trials int     // per-cell trials; 0 = 6
-	Noise  float64 // 0 = noiseless (lab conditions, as in Section 5)
+	// Context, when non-nil, bounds the run: cancellation or a deadline
+	// aborts between cells. Nil means context.Background().
+	Context context.Context
+	Seed    int64
+	Trials  int     // per-cell trials; 0 = 6
+	Noise   float64 // 0 = noiseless (lab conditions, as in Section 5)
 	// DisablePredecode runs the cells on the byte-at-a-time reference
 	// fetch path (see SystemConfig.DisablePredecode).
 	DisablePredecode bool
@@ -79,6 +95,7 @@ func RunTable1(arch Microarch, opts Table1Options) (*Table1, error) {
 		return nil, err
 	}
 	res, err := core.RunMatrix(p, core.MatrixConfig{
+		Ctx:  optionsContext(opts.Context),
 		Seed: opts.Seed, Trials: opts.Trials, Noise: opts.Noise,
 		DisablePredecode: opts.DisablePredecode,
 	})
@@ -150,7 +167,14 @@ type Fig6Series struct {
 // size (0 = GOMAXPROCS). The series come back in archs order, identical
 // to running RunFig6 serially.
 func RunFig6Sweep(archs []Microarch, seed int64, jobs int) ([]*Fig6Series, error) {
-	return sweep.Run(context.Background(), len(archs), sweepOpts("fig6", len(archs), jobs),
+	return RunFig6SweepCtx(nil, archs, seed, jobs)
+}
+
+// RunFig6SweepCtx is RunFig6Sweep bounded by a context: cancellation or
+// an expired deadline aborts the remaining per-arch jobs. A nil ctx
+// means context.Background().
+func RunFig6SweepCtx(ctx context.Context, archs []Microarch, seed int64, jobs int) ([]*Fig6Series, error) {
+	return sweep.Run(optionsContext(ctx), len(archs), sweepOpts("fig6", len(archs), jobs),
 		func(_ context.Context, i int) (*Fig6Series, error) {
 			return RunFig6(archs[i], seed)
 		})
@@ -213,6 +237,9 @@ type Fig7 struct {
 
 // Fig7Options tunes the recovery.
 type Fig7Options struct {
+	// Context, when non-nil, bounds the recovery; nil means
+	// context.Background().
+	Context         context.Context
 	Seed            int64
 	Samples         int // independent collisions to gather; 0 = 22 (full rank)
 	MaxBatches      int
@@ -224,9 +251,11 @@ type Fig7Options struct {
 // RunFig7Sweep runs the Figure 7 recovery on several microarchitectures
 // in parallel (opts.Jobs workers), returning results in archs order.
 func RunFig7Sweep(archs []Microarch, opts Fig7Options) ([]*Fig7, error) {
-	return sweep.Run(context.Background(), len(archs), sweepOpts("fig7", len(archs), opts.Jobs),
-		func(_ context.Context, i int) (*Fig7, error) {
-			return RunFig7(archs[i], opts)
+	return sweep.Run(optionsContext(opts.Context), len(archs), sweepOpts("fig7", len(archs), opts.Jobs),
+		func(ctx context.Context, i int) (*Fig7, error) {
+			o := opts
+			o.Context = ctx // the sweep-scoped context, so a failure elsewhere cancels this job's stages too
+			return RunFig7(archs[i], o)
 		})
 }
 
@@ -249,6 +278,11 @@ func RunFig7(arch Microarch, opts Fig7Options) (*Fig7, error) {
 	}
 	bf, err := core.BruteForceCollisions(p, opts.Seed, opts.BruteForceFlips, opts.BruteBudget)
 	if err != nil {
+		return nil, err
+	}
+	// The two stages are independently long; honor a cancelled request
+	// between them rather than paying for the sampling stage too.
+	if err := optionsContext(opts.Context).Err(); err != nil {
 		return nil, err
 	}
 	rec, err := core.RecoverBTBFunctions(p, opts.Seed, opts.Samples, opts.MaxBatches)
@@ -308,10 +342,14 @@ type Table2Row struct {
 
 // Table2Options tunes the covert-channel experiment.
 type Table2Options struct {
-	Seed int64
-	Bits int // per run; 0 = 4096 (the paper's message size)
-	Runs int // 0 = 10 (the paper reports the median of 10)
-	Jobs int // parallel (arch, run) workers; 0 = GOMAXPROCS, 1 = sequential
+	// Context, when non-nil, bounds the sweep: cancellation or a
+	// deadline aborts the remaining (arch, run) jobs. Nil means
+	// context.Background().
+	Context context.Context
+	Seed    int64
+	Bits    int // per run; 0 = 4096 (the paper's message size)
+	Runs    int // 0 = 10 (the paper reports the median of 10)
+	Jobs    int // parallel (arch, run) workers; 0 = GOMAXPROCS, 1 = sequential
 	// DisablePredecode runs the channels on the byte-at-a-time reference
 	// fetch path (see SystemConfig.DisablePredecode).
 	DisablePredecode bool
@@ -339,7 +377,7 @@ func runTable2(archs []Microarch, opts Table2Options,
 	// depend only on the job index and the parallel table is identical to
 	// the sequential one.
 	type sample struct{ acc, rate float64 }
-	samples, err := sweep.Run(context.Background(), len(archs)*opts.Runs, sweepOpts("table2", len(archs)*opts.Runs, opts.Jobs),
+	samples, err := sweep.Run(optionsContext(opts.Context), len(archs)*opts.Runs, sweepOpts("table2", len(archs)*opts.Runs, opts.Jobs),
 		func(_ context.Context, i int) (sample, error) {
 			arch, r := archs[i/opts.Runs], i%opts.Runs
 			p, err := arch.profile()
@@ -408,9 +446,13 @@ type DerandRow struct {
 
 // DerandOptions tunes the multi-run derandomization experiments.
 type DerandOptions struct {
-	Seed int64
-	Runs int // reboots; 0 = 20 (paper: 100 for Table 3/5, 10 for Table 4)
-	Jobs int // parallel (arch, reboot) workers; 0 = GOMAXPROCS, 1 = sequential
+	// Context, when non-nil, bounds the sweep: cancellation or a
+	// deadline aborts the remaining (config, reboot) jobs. Nil means
+	// context.Background().
+	Context context.Context
+	Seed    int64
+	Runs    int // reboots; 0 = 20 (paper: 100 for Table 3/5, 10 for Table 4)
+	Jobs    int // parallel (arch, reboot) workers; 0 = GOMAXPROCS, 1 = sequential
 	// DisablePredecode boots every system on the byte-at-a-time reference
 	// fetch path (see SystemConfig.DisablePredecode).
 	DisablePredecode bool
@@ -426,8 +468,8 @@ type derandRun struct {
 // configs × runs reboots — and returns the outcomes grouped by config,
 // reboots in run order. do must derive all randomness from its job
 // coordinates so the grouping is independent of the pool size.
-func sweepDerand(name string, n, runs, jobs int, do func(cfgIdx, r int) (derandRun, error)) ([][]derandRun, error) {
-	flat, err := sweep.Run(context.Background(), n*runs, sweepOpts(name, n*runs, jobs),
+func sweepDerand(ctx context.Context, name string, n, runs, jobs int, do func(cfgIdx, r int) (derandRun, error)) ([][]derandRun, error) {
+	flat, err := sweep.Run(optionsContext(ctx), n*runs, sweepOpts(name, n*runs, jobs),
 		func(_ context.Context, i int) (derandRun, error) {
 			return do(i/runs, i%runs)
 		})
@@ -463,7 +505,7 @@ func RunTable3(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 20
 	}
-	grouped, err := sweepDerand("table3", len(archs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand(opts.Context, "table3", len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
 			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*31, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
@@ -491,7 +533,7 @@ func RunTable4(archs []Microarch, opts DerandOptions) ([]DerandRow, error) {
 	if opts.Runs == 0 {
 		opts.Runs = 10
 	}
-	grouped, err := sweepDerand("table4", len(archs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand(opts.Context, "table4", len(archs), opts.Runs, opts.Jobs,
 		func(ai, r int) (derandRun, error) {
 			sys, err := NewSystem(archs[ai], SystemConfig{Seed: opts.Seed + int64(r)*37, DisablePredecode: opts.DisablePredecode})
 			if err != nil {
@@ -531,7 +573,7 @@ func RunTable5(opts DerandOptions) ([]DerandRow, error) {
 		{Zen1, 8 << 30},
 		{Zen2, 64 << 30},
 	}
-	grouped, err := sweepDerand("table5", len(configs), opts.Runs, opts.Jobs,
+	grouped, err := sweepDerand(opts.Context, "table5", len(configs), opts.Runs, opts.Jobs,
 		func(ci, r int) (derandRun, error) {
 			c := configs[ci]
 			sys, err := NewSystem(c.arch, SystemConfig{Seed: opts.Seed + int64(r)*41, PhysBytes: c.mem, DisablePredecode: opts.DisablePredecode})
@@ -595,10 +637,14 @@ type MDSReport struct {
 
 // MDSOptions tunes the Section 7.4 experiment.
 type MDSOptions struct {
-	Seed  int64
-	Runs  int // 0 = 10 (the paper's count)
-	Bytes int // 0 = 4096 (the paper leaks 4096 bytes)
-	Jobs  int // parallel reboot workers; 0 = GOMAXPROCS, 1 = sequential
+	// Context, when non-nil, bounds the sweep: cancellation or a
+	// deadline aborts the remaining reboot jobs. Nil means
+	// context.Background().
+	Context context.Context
+	Seed    int64
+	Runs    int // 0 = 10 (the paper's count)
+	Bytes   int // 0 = 4096 (the paper leaks 4096 bytes)
+	Jobs    int // parallel reboot workers; 0 = GOMAXPROCS, 1 = sequential
 	// DisablePredecode boots every system on the byte-at-a-time reference
 	// fetch path (see SystemConfig.DisablePredecode).
 	DisablePredecode bool
@@ -620,7 +666,7 @@ func RunMDSExperiment(arch Microarch, opts MDSOptions) (*MDSReport, error) {
 	type leakRun struct {
 		acc, rate float64
 	}
-	outcomes, err := sweep.Run(context.Background(), opts.Runs, sweepOpts("mds", opts.Runs, opts.Jobs),
+	outcomes, err := sweep.Run(optionsContext(opts.Context), opts.Runs, sweepOpts("mds", opts.Runs, opts.Jobs),
 		func(_ context.Context, r int) (leakRun, error) {
 			sys, err := NewSystem(arch, SystemConfig{Seed: opts.Seed + int64(r)*43, DisablePredecode: opts.DisablePredecode})
 			if err != nil {

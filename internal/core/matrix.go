@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,6 +40,9 @@ type MatrixResult struct {
 
 // MatrixConfig tunes the Table 1 experiment.
 type MatrixConfig struct {
+	// Ctx, when non-nil, is checked between cells so a cancelled or
+	// expired request aborts the matrix without finishing all 25 cells.
+	Ctx    context.Context
 	Seed   int64
 	Trials int     // per-cell trials (positive and negative each)
 	Noise  float64 // machine noise level; 0 = deterministic
@@ -70,6 +74,11 @@ func RunMatrix(p *uarch.Profile, cfg MatrixConfig) (*MatrixResult, error) {
 	res := &MatrixResult{Profile: p}
 	for tr := BranchKind(0); tr < NumKinds; tr++ {
 		for vi := BranchKind(0); vi < NumKinds; vi++ {
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			cell := MatrixCell{Training: tr, Victim: vi}
 			if sym, note := symmetricCell(tr, vi); sym {
 				cell.Status = CellSymmetric

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// benchRequest is a real (simulated) but small evaluation: Table 1 on
+// one arch with reduced trials.
+func benchRequest() Request {
+	return Request{Experiment: "table1", Archs: []string{"zen2"}, Trials: 2}
+}
+
+// BenchmarkServeTable1_Cold measures the miss path: every iteration
+// pays for a full simulation into a fresh cache.
+func BenchmarkServeTable1_Cold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewServer(Config{Workers: 1, Jobs: 1})
+		res, aerr := s.do(context.Background(), benchRequest())
+		if aerr != nil {
+			b.Fatal(aerr)
+		}
+		if res.Cached || res.Coalesced {
+			b.Fatalf("cold request served warm: %+v", res)
+		}
+	}
+}
+
+// BenchmarkServeTable1_Warm measures the hit path: the content-
+// addressed cache answers without simulating. The acceptance bar is
+// warm ≥ 50× faster than cold; in practice it is orders of magnitude.
+func BenchmarkServeTable1_Warm(b *testing.B) {
+	s := NewServer(Config{Workers: 1, Jobs: 1})
+	if _, aerr := s.do(context.Background(), benchRequest()); aerr != nil {
+		b.Fatal(aerr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, aerr := s.do(context.Background(), benchRequest())
+		if aerr != nil {
+			b.Fatal(aerr)
+		}
+		if !res.Cached {
+			b.Fatal("warm request missed the cache")
+		}
+	}
+}
+
+// BenchmarkServeTable1_Coalesced measures 8 concurrent identical
+// requests against a fresh server: the flight group must collapse them
+// to one simulation, so per-iteration cost stays near the cold cost
+// instead of 8× it.
+func BenchmarkServeTable1_Coalesced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewServer(Config{Workers: 2, QueueDepth: 16, Jobs: 1})
+		var wg sync.WaitGroup
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, aerr := s.do(context.Background(), benchRequest()); aerr != nil {
+					b.Error(aerr)
+				}
+			}()
+		}
+		wg.Wait()
+		if sims := s.Stats().Simulations.Load(); sims != 1 {
+			b.Fatalf("8 concurrent identical requests ran %d simulations, want 1", sims)
+		}
+	}
+}

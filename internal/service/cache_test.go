@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testResult(key string, size int) *Result {
+	return &Result{ID: key, Output: strings.Repeat("x", size)}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget fits exactly two entries of this shape.
+	entry := int64(len("k0") + 100 + cacheOverhead)
+	c := NewCache(2 * entry)
+	c.Put("k0", testResult("k0", 100))
+	c.Put("k1", testResult("k1", 100))
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 evicted while under budget")
+	}
+	// k0 is now most recent; inserting k2 must evict k1, not k0.
+	c.Put("k2", testResult("k2", 100))
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Error("recently-used k0 was evicted instead of k1")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Error("just-inserted k2 missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.UsedBytes > 2*entry {
+		t.Errorf("used %d bytes exceeds budget %d", st.UsedBytes, 2*entry)
+	}
+}
+
+func TestCacheByteBudgetHoldsUnderManyInserts(t *testing.T) {
+	budget := int64(8 << 10)
+	c := NewCache(budget)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		c.Put(k, testResult(k, 256))
+	}
+	st := c.Stats()
+	if st.UsedBytes > budget {
+		t.Errorf("cache holds %d bytes, budget %d", st.UsedBytes, budget)
+	}
+	if st.Entries == 0 {
+		t.Error("cache empty after inserts under a positive budget")
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite inserting far past the budget")
+	}
+}
+
+func TestCacheRejectsOversizedAndZeroBudget(t *testing.T) {
+	c := NewCache(1 << 10)
+	c.Put("big", testResult("big", 4<<10))
+	if _, ok := c.Get("big"); ok {
+		t.Error("entry larger than the whole budget was stored")
+	}
+	disabled := NewCache(-1)
+	disabled.Put("k", testResult("k", 1))
+	if _, ok := disabled.Get("k"); ok {
+		t.Error("disabled (negative-budget) cache stored an entry")
+	}
+}
+
+func TestCacheRePutRefreshesRecency(t *testing.T) {
+	entry := int64(len("k0") + 10 + cacheOverhead)
+	c := NewCache(2 * entry)
+	c.Put("k0", testResult("k0", 10))
+	c.Put("k1", testResult("k1", 10))
+	c.Put("k0", testResult("k0", 10)) // refresh, no growth
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("re-put grew the cache: %+v", st)
+	}
+	c.Put("k2", testResult("k2", 10))
+	if _, ok := c.Get("k0"); !ok {
+		t.Error("re-put k0 evicted despite refreshed recency")
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived; eviction ignored re-put recency")
+	}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Get("missing")
+	c.Put("k", testResult("k", 8))
+	c.Get("k")
+	c.Get("k")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}

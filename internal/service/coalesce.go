@@ -1,0 +1,91 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress evaluation that any number of identical
+// requests may be waiting on. refs counts the waiters (the leader is
+// waiter zero); when the last one disconnects the execution context is
+// cancelled, so a simulation nobody is waiting for stops burning a
+// scheduler slot.
+type flight struct {
+	done   chan struct{}
+	res    *Result
+	err    error
+	refs   int
+	cancel context.CancelFunc
+}
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// for a key becomes the leader and runs fn once; every caller that
+// arrives with the same key before fn returns waits on the same flight
+// and receives the same result. Unlike x/sync singleflight, the
+// function runs on a context owned by the *flight*, not the leader —
+// the leader disconnecting must not kill an evaluation other waiters
+// still want, and only the last waiter leaving cancels it.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// Do returns the result of fn for key, running it at most once across
+// concurrent callers. shared reports whether this caller joined an
+// existing flight (i.e. its answer cost zero additional simulations).
+// If ctx ends before the flight completes, the caller gets ctx's error;
+// the flight itself is cancelled only when no waiters remain.
+//
+// One benign race is accepted: a caller that joins in the instant after
+// the last previous waiter cancelled the flight (but before fn
+// returned) observes the cancelled flight's error instead of starting a
+// fresh one. The window is a few instructions wide and the caller can
+// simply retry.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (*Result, error)) (res *Result, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		return g.wait(ctx, f, true)
+	}
+	// The flight context deliberately descends from Background, not
+	// ctx: the evaluation outlives any individual waiter and dies only
+	// via its own cancel (last waiter gone) or fn's internal deadline.
+	execCtx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		res, err := fn(execCtx)
+		g.mu.Lock()
+		f.res, f.err = res, err
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, f, false)
+}
+
+// wait blocks until the flight resolves or the caller's ctx ends,
+// maintaining the waiter refcount.
+func (g *flightGroup) wait(ctx context.Context, f *flight, shared bool) (*Result, bool, error) {
+	select {
+	case <-f.done:
+		return f.res, shared, f.err
+	case <-ctx.Done():
+	}
+	g.mu.Lock()
+	f.refs--
+	abandoned := f.refs == 0
+	g.mu.Unlock()
+	if abandoned {
+		f.cancel()
+	}
+	return nil, shared, ctx.Err()
+}

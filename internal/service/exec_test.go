@@ -1,0 +1,64 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExecuteAllExperiments smoke-runs every servable experiment at
+// tiny scale through the shared rendering engine and sanity-checks the
+// text each one produces. Correctness of the numbers is pinned by the
+// package tests and goldens; this test is about the serving surface —
+// every catalog entry must actually execute and render.
+func TestExecuteAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cases := []struct {
+		req  Request
+		want string // substring the rendering must contain
+	}{
+		{Request{Experiment: "table1", Archs: []string{"zen2"}, Trials: 2}, "Table 1"},
+		{Request{Experiment: "fig6", Archs: []string{"zen2"}, Seed: 1}, "offset"},
+		{Request{Experiment: "fig7", Archs: []string{"zen3"}, Seed: 9, Samples: 22}, "BTB"},
+		{Request{Experiment: "covert", Archs: []string{"zen2"}, Bits: 16, Runs: 1}, "Table 2"},
+		{Request{Experiment: "kaslr", Archs: []string{"zen2"}, Runs: 1}, "Table 3"},
+		{Request{Experiment: "physmap", Archs: []string{"zen1"}, Runs: 1}, "Table 4"},
+		{Request{Experiment: "physaddr", Runs: 1}, "Table 5"},
+		{Request{Experiment: "mds", Archs: []string{"zen2"}, Runs: 1, Bytes: 64}, "MDS"},
+		{Request{Experiment: "mitigations", Archs: []string{"zen1"}}, "mitigation"},
+		{Request{Experiment: "sls", Archs: []string{"zen1"}}, "Straight-line speculation"},
+		{Request{Experiment: "chain", Archs: []string{"zen2"}}, "Full exploit chain"},
+		{Request{Experiment: "report", Runs: 1, Bits: 16}, "Phantom reproduction report"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := Execute(context.Background(), &buf, c.req, 0); err != nil {
+			t.Errorf("%s: %v", c.req.Experiment, err)
+			continue
+		}
+		if out := buf.String(); !strings.Contains(strings.ToLower(out), strings.ToLower(c.want)) {
+			t.Errorf("%s: rendering does not mention %q:\n%s", c.req.Experiment, c.want, out)
+		}
+	}
+}
+
+// TestExecuteCancellationPropagates checks ctx reaches the experiment
+// layer: a cancelled context aborts mid-experiment rather than running
+// to completion.
+func TestExecuteCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	var buf bytes.Buffer
+	// physaddr takes ~500ms at runs=1; a 5ms deadline must cut it off.
+	err := Execute(ctx, &buf, Request{Experiment: "physaddr", Runs: 1}, 0)
+	if err == nil {
+		t.Fatal("Execute ran to completion under an expired deadline")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("test bug: deadline never fired")
+	}
+}

@@ -1,0 +1,305 @@
+// Package service is the experiment-serving subsystem: a long-running
+// HTTP JSON API (cmd/phantom-server) that answers the same questions as
+// the one-shot phantom CLI — Tables 1-5, Figures 6-7, the Section 7
+// chain, the full report — from one shared, always-warm evaluation
+// engine.
+//
+// The simulator is fully deterministic for a given (experiment, arch,
+// seed, options) tuple, which the service turns into throughput three
+// ways:
+//
+//   - a content-addressed result cache: the canonical hash of a
+//     normalized request is the result's identity, so any client asking
+//     an already-answered question gets the bytes back without a
+//     simulation (LRU + byte-budget eviction, see Cache);
+//   - singleflight coalescing: N concurrent identical requests cost one
+//     simulation, with the execution context kept alive until the last
+//     interested waiter disconnects (see flightGroup);
+//   - a bounded scheduler: at most Workers simulations run at once and
+//     at most QueueDepth more may wait; beyond that the server sheds
+//     load with 429 + Retry-After instead of queueing unboundedly (see
+//     scheduler).
+//
+// Served output is byte-identical to the CLI's stdout for the same
+// request — both front ends render through Execute — and the whole
+// subsystem reports into the process telemetry hub (request counters,
+// queue-depth gauge, cache hits/misses, latency histograms) under the
+// same no-perturbation invariant as the rest of the harness.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"phantom"
+)
+
+// Request names one experiment evaluation. The zero value of every
+// optional field means "the experiment's documented default" — the same
+// defaults the CLI flags carry — so semantically equal requests
+// normalize, and therefore hash, identically.
+type Request struct {
+	// Experiment is the experiment name, exactly as the CLI spells it:
+	// table1, fig6, fig7, covert, kaslr, physmap, physaddr, mds,
+	// mitigations, sls, chain, report.
+	Experiment string `json:"experiment"`
+	// Archs lists microarchitectures by name, or the aliases "all" /
+	// "amd". Empty means the experiment's default set. Order and
+	// duplicates are not semantic: normalization dedupes and sorts into
+	// the paper's canonical order, which is also the order served
+	// output renders in.
+	Archs []string `json:"archs,omitempty"`
+	// Seed is the simulation seed; 0 means the experiment's default
+	// (1, except fig7's 9 — the CLI defaults).
+	Seed int64 `json:"seed,omitempty"`
+	// Trials is Table 1's per-cell trial count (table1 only); 0 = 6.
+	Trials int `json:"trials,omitempty"`
+	// Noise is Table 1's noise level (table1 only); 0 = lab conditions.
+	Noise float64 `json:"noise,omitempty"`
+	// Bits is the covert-channel message size (covert, report); 0 =
+	// 4096 for covert, 1024 for report.
+	Bits int `json:"bits,omitempty"`
+	// Runs is the reboot/run count for the multi-run experiments
+	// (covert, kaslr, physmap, physaddr, mds, report); 0 = the
+	// experiment default.
+	Runs int `json:"runs,omitempty"`
+	// Bytes is the MDS leak size (mds only); 0 = 4096.
+	Bytes int `json:"bytes,omitempty"`
+	// Samples is Figure 7's independent-collision count (fig7 only);
+	// 0 = 22.
+	Samples int `json:"samples,omitempty"`
+}
+
+// experimentDef drives normalization: which fields an experiment
+// consumes, their defaults, and how heavy one evaluation is.
+type experimentDef struct {
+	// defaultArchs is the CLI's -arch default, already canonical. Nil
+	// means the experiment takes no arch list (physaddr, report).
+	defaultArchs []string
+	defaultSeed  int64
+	// usesX gates + defaults: a field an experiment does not consume is
+	// forced to zero by Normalize so it cannot split the cache.
+	trials, noise  bool
+	defaultRuns    int // 0 = experiment takes no runs field
+	defaultBits    int
+	defaultBytes   int
+	defaultSamples int
+	// timeoutWeight scales the server's per-experiment deadline (see
+	// Config.BaseTimeout): heavier experiments get proportionally more.
+	timeoutWeight int
+}
+
+// experiments is the catalog of servable experiments. Defaults mirror
+// the CLI flag defaults exactly; the parity tests depend on that.
+var experiments = map[string]experimentDef{
+	"table1":      {defaultArchs: archAll, defaultSeed: 1, trials: true, noise: true, timeoutWeight: 2},
+	"fig6":        {defaultArchs: []string{"zen2", "zen4"}, defaultSeed: 1, timeoutWeight: 1},
+	"fig7":        {defaultArchs: []string{"zen3"}, defaultSeed: 9, defaultSamples: 22, timeoutWeight: 4},
+	"covert":      {defaultArchs: archAMD, defaultSeed: 1, defaultRuns: 10, defaultBits: 4096, timeoutWeight: 3},
+	"kaslr":       {defaultArchs: []string{"zen2", "zen3", "zen4"}, defaultSeed: 1, defaultRuns: 20, timeoutWeight: 3},
+	"physmap":     {defaultArchs: []string{"zen1", "zen2"}, defaultSeed: 1, defaultRuns: 10, timeoutWeight: 3},
+	"physaddr":    {defaultSeed: 1, defaultRuns: 20, timeoutWeight: 4},
+	"mds":         {defaultArchs: []string{"zen2"}, defaultSeed: 1, defaultRuns: 10, defaultBytes: 4096, timeoutWeight: 4},
+	"mitigations": {defaultArchs: archAMD, defaultSeed: 1, timeoutWeight: 2},
+	"sls":         {defaultArchs: archAll, defaultSeed: 1, timeoutWeight: 2},
+	"chain":       {defaultArchs: []string{"zen2"}, defaultSeed: 1, timeoutWeight: 3},
+	"report":      {defaultSeed: 1, defaultRuns: 10, defaultBits: 1024, timeoutWeight: 10},
+}
+
+var (
+	archAll = archNames(phantom.AllMicroarchs())
+	archAMD = archNames(phantom.AMDMicroarchs())
+	// archOrder is the paper's canonical arch order, the order Normalize
+	// sorts into and served output renders in.
+	archOrder = func() map[string]int {
+		m := make(map[string]int, len(archAll))
+		for i, a := range archAll {
+			m[a] = i
+		}
+		return m
+	}()
+)
+
+func archNames(archs []phantom.Microarch) []string {
+	out := make([]string, len(archs))
+	for i, a := range archs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Experiments lists the servable experiment names in sorted order (the
+// /v1/arches handler and usage texts).
+func Experiments() []string {
+	out := make([]string, 0, len(experiments))
+	for name := range experiments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize validates req and returns its canonical form: aliases
+// expanded, duplicates dropped, archs in paper order, every
+// experiment-relevant zero field replaced by its documented default and
+// every irrelevant field forced to zero. Two requests that would render
+// the same output normalize to the same value, so Key — and the content
+// address of the result — is well defined.
+func (r Request) Normalize() (Request, error) {
+	def, ok := experiments[r.Experiment]
+	if !ok {
+		return Request{}, fmt.Errorf("unknown experiment %q", r.Experiment)
+	}
+	n := Request{Experiment: r.Experiment}
+
+	if def.defaultArchs == nil {
+		if len(r.Archs) != 0 {
+			return Request{}, fmt.Errorf("experiment %q takes no arch list", r.Experiment)
+		}
+	} else if len(r.Archs) == 0 {
+		n.Archs = append([]string(nil), def.defaultArchs...)
+	} else {
+		archs, err := expandArchs(r.Archs)
+		if err != nil {
+			return Request{}, err
+		}
+		n.Archs = archs
+	}
+
+	n.Seed = r.Seed
+	if n.Seed == 0 {
+		n.Seed = def.defaultSeed
+	}
+	if def.trials {
+		n.Trials = r.Trials
+		if n.Trials == 0 {
+			n.Trials = 6
+		}
+	}
+	if def.noise {
+		n.Noise = r.Noise
+	}
+	if def.defaultRuns > 0 {
+		n.Runs = r.Runs
+		if n.Runs == 0 {
+			n.Runs = def.defaultRuns
+		}
+	}
+	if def.defaultBits > 0 {
+		n.Bits = r.Bits
+		if n.Bits == 0 {
+			n.Bits = def.defaultBits
+		}
+	}
+	if def.defaultBytes > 0 {
+		n.Bytes = r.Bytes
+		if n.Bytes == 0 {
+			n.Bytes = def.defaultBytes
+		}
+	}
+	if def.defaultSamples > 0 {
+		n.Samples = r.Samples
+		if n.Samples == 0 {
+			n.Samples = def.defaultSamples
+		}
+	}
+	for _, f := range []struct {
+		name string
+		bad  bool
+	}{
+		{"trials", n.Trials < 0}, {"noise", n.Noise < 0}, {"bits", n.Bits < 0},
+		{"runs", n.Runs < 0}, {"bytes", n.Bytes < 0}, {"samples", n.Samples < 0},
+	} {
+		if f.bad {
+			return Request{}, fmt.Errorf("negative %s", f.name)
+		}
+	}
+	return n, nil
+}
+
+// expandArchs resolves aliases, validates names, dedupes, and sorts
+// into canonical order.
+func expandArchs(specs []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(names ...string) {
+		for _, a := range names {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	for _, s := range specs {
+		switch s {
+		case "all":
+			add(archAll...)
+		case "amd":
+			add(archAMD...)
+		default:
+			if _, ok := archOrder[s]; !ok {
+				return nil, fmt.Errorf("unknown microarchitecture %q", s)
+			}
+			add(s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return archOrder[out[i]] < archOrder[out[j]] })
+	return out, nil
+}
+
+// microarchs converts a normalized arch list back to the typed form.
+func microarchs(names []string) []phantom.Microarch {
+	out := make([]phantom.Microarch, len(names))
+	for i, a := range names {
+		out[i] = phantom.Microarch(a)
+	}
+	return out
+}
+
+// Key is the content address of a normalized request: the hex SHA-256
+// of its canonical encoding. Call it on Normalize's result only —
+// hashing a raw request would let two spellings of the same question
+// land in different cache slots.
+func (r Request) Key() string {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeU64 := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		h.Write(n[:])
+	}
+	writeStr(r.Experiment)
+	writeU64(uint64(len(r.Archs)))
+	for _, a := range r.Archs {
+		writeStr(a)
+	}
+	writeU64(uint64(r.Seed))
+	writeU64(uint64(r.Trials))
+	writeU64(math.Float64bits(r.Noise))
+	writeU64(uint64(r.Bits))
+	writeU64(uint64(r.Runs))
+	writeU64(uint64(r.Bytes))
+	writeU64(uint64(r.Samples))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Timeout returns the per-experiment execution deadline given the
+// server's base timeout: heavier experiments (fig7's solver, the full
+// report) get proportionally longer before the scheduler cancels them.
+func (r Request) Timeout(base time.Duration) time.Duration {
+	w := experiments[r.Experiment].timeoutWeight
+	if w <= 0 {
+		w = 1
+	}
+	return base * time.Duration(w)
+}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSchedulerAcquireCtxCancel(t *testing.T) {
+	s := newScheduler(1, 4)
+	rel, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second acquire is admitted (queue has room) but blocks on the
+	// single slot; its ctx cancelling must unwind the admission.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.acquire(ctx); err == nil {
+		t.Fatal("acquire succeeded with a cancelled context and no free slot")
+	}
+	if got := s.Pending(); got != 1 {
+		t.Errorf("pending after cancelled acquire = %d, want 1", got)
+	}
+	rel()
+	rel() // release is idempotent
+	if got := s.Pending(); got != 0 {
+		t.Errorf("pending after release = %d, want 0", got)
+	}
+}
+
+func TestSchedulerRetryAfterEstimate(t *testing.T) {
+	s := newScheduler(2, 0)
+	if got := s.retryAfter(); got != time.Second {
+		t.Errorf("unseeded retryAfter = %v, want the 1s floor", got)
+	}
+	s.observe(10 * time.Second)
+	s.pending.Store(4) // two waves of two workers
+	if got := s.retryAfter(); got < 10*time.Second {
+		t.Errorf("retryAfter = %v, want >= one 10s wave", got)
+	}
+	s.observe(time.Nanosecond) // EWMA decays but stays positive
+	if got := s.retryAfter(); got < time.Second {
+		t.Errorf("retryAfter = %v, want the 1s floor", got)
+	}
+}
+
+func TestSchedulerAwaitIdleTimeout(t *testing.T) {
+	s := newScheduler(1, 0)
+	rel, err := s.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.AwaitIdle(ctx); err == nil {
+		t.Error("AwaitIdle returned nil with work still pending")
+	}
+	rel()
+	if err := s.AwaitIdle(context.Background()); err != nil {
+		t.Errorf("AwaitIdle after release: %v", err)
+	}
+	if _, err := s.acquire(context.Background()); err != ErrDraining {
+		t.Errorf("acquire while draining = %v, want ErrDraining", err)
+	}
+}
+
+func TestServerAccessorsAndErrors(t *testing.T) {
+	s := newTestServer(Config{Workers: 1}, &stubExec{})
+	if got := s.QueueDepth(); got != 0 {
+		t.Errorf("QueueDepth = %d", got)
+	}
+	if _, aerr := s.do(context.Background(), Request{Experiment: "fig6"}); aerr != nil {
+		t.Fatal(aerr)
+	}
+	if st := s.CacheStats(); st.Entries != 1 || st.Misses != 1 {
+		t.Errorf("CacheStats = %+v", st)
+	}
+	if _, aerr := s.do(context.Background(), Request{Experiment: "nope"}); aerr == nil || aerr.status != http.StatusBadRequest {
+		t.Errorf("invalid request = %+v, want 400", aerr)
+	} else if aerr.Error() == "" {
+		t.Error("apiError.Error empty")
+	}
+	// Draining maps to 503 at the do() layer too (flights started just
+	// before StartDrain land here rather than at the HTTP gate).
+	s.sched.StartDrain()
+	if _, aerr := s.do(context.Background(), Request{Experiment: "physmap"}); aerr == nil || aerr.status != http.StatusServiceUnavailable {
+		t.Errorf("draining do() = %+v, want 503", aerr)
+	}
+}

@@ -18,6 +18,13 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// MetricsHandler returns the handler behind the /metrics endpoint: the
+// active hub's snapshot as JSON, or one "name value" line per metric
+// with ?format=text. phantom-server mounts it on its own mux so served
+// traffic and the -debug-addr server render metrics identically. The
+// handler is safe with no active hub (it renders an empty snapshot).
+func MetricsHandler() http.Handler { return http.HandlerFunc(serveMetrics) }
+
 // StartDebug listens on addr (host:port; port 0 picks a free one) and
 // serves:
 //

@@ -105,7 +105,10 @@ func (s *SweepScope) JobDone(job, worker int, d time.Duration, err error) {
 }
 
 // SweepEnd closes the scope: the run-log marker and a final, persistent
-// progress line.
+// progress line. The final rendering is not the last throttled live
+// tick — it always shows the completed state (every job accounted for,
+// 100% when none failed out) with the total elapsed time in place of
+// the by-then-meaningless ETA.
 func (s *SweepScope) SweepEnd() {
 	if s == nil {
 		return
@@ -114,8 +117,29 @@ func (s *SweepScope) SweepEnd() {
 		Type: "sweep_end", Sweep: s.name,
 		Done: int(s.done.Load()), Errors: int(s.errs.Load()),
 	})
-	s.hub.prog.update(s.progressLine(), true)
+	s.hub.prog.update(s.finalLine(), true)
 	s.hub.prog.line()
+}
+
+// finalLine renders the completion state SweepEnd persists in the
+// scrollback: the full job tally with a percentage, the pool size, the
+// aggregate throughput, and how long the sweep took.
+func (s *SweepScope) finalLine() string {
+	done := s.done.Load()
+	elapsed := time.Since(s.start)
+	pct := int64(100)
+	if s.total > 0 {
+		pct = done * 100 / int64(s.total)
+	}
+	line := fmt.Sprintf("%s · job %d/%d · %d%% · %d workers", s.name, done, s.total, pct, s.workers)
+	if done > 0 && elapsed > 0 {
+		line += fmt.Sprintf(" · %s jobs/s", formatRate(float64(done)/elapsed.Seconds()))
+	}
+	line += fmt.Sprintf(" · done in %s", formatETA(elapsed))
+	if errs := s.errs.Load(); errs > 0 {
+		line += fmt.Sprintf(" · %d failed", errs)
+	}
+	return line
 }
 
 // progressLine renders the live status: name, completion, throughput

@@ -295,6 +295,43 @@ func TestProgressLineContent(t *testing.T) {
 	}
 }
 
+// TestProgressFinalLine pins the SweepEnd regression fix: the persistent
+// line left in the scrollback must show the completed (100%) state with
+// the total elapsed time, not whatever the last 100ms throttle tick
+// happened to render.
+func TestProgressFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	Enable(Config{Progress: &buf})
+	s := Sweep("kaslr", 3)
+	s.SweepStart(3, 2)
+	s.start = time.Now().Add(-2 * time.Second)
+	for i := 0; i < 3; i++ {
+		s.done.Add(1)
+	}
+	s.SweepEnd()
+	if err := Disable(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	final := out[strings.LastIndex(strings.TrimRight(out, "\n"), "\r")+1:]
+	for _, want := range []string{"job 3/3", "100%", "done in"} {
+		if !strings.Contains(final, want) {
+			t.Errorf("final progress line %q missing %q", final, want)
+		}
+	}
+	if strings.Contains(final, "ETA") {
+		t.Errorf("final progress line %q still renders an ETA", final)
+	}
+
+	// A partially failed sweep must not claim 100%.
+	s = &SweepScope{total: 4, workers: 2, start: time.Now()}
+	s.done.Add(2)
+	s.errs.Add(2)
+	if line := s.finalLine(); !strings.Contains(line, "50%") || !strings.Contains(line, "2 failed") {
+		t.Errorf("partial final line %q should report 50%% and 2 failed", line)
+	}
+}
+
 func TestFormatETA(t *testing.T) {
 	cases := []struct {
 		d    time.Duration

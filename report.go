@@ -11,7 +11,11 @@ import (
 
 // ReportOptions controls GenerateReport's scale.
 type ReportOptions struct {
-	Seed int64
+	// Context, when non-nil, bounds the generation: cancellation or a
+	// deadline aborts between sections and cancels the section sweeps.
+	// Nil means context.Background().
+	Context context.Context
+	Seed    int64
 	// Runs per multi-run experiment (Tables 3-5, the MDS leak); 0 = 10.
 	Runs int
 	// Bits per covert-channel run; 0 = 1024 (the paper's 4096 via flag).
@@ -112,6 +116,9 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 	fmt.Fprintf(w, "scale discussion. Paper columns quote MICRO '23 Tables 1-5 and Sections 6-8.\n\n")
 
 	for _, s := range reportSections() {
+		if err := optionsContext(opts.Context).Err(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "## %s\n\n", s.Title)
 		if err := s.write(w, opts); err != nil {
 			return fmt.Errorf("section %q: %w", s.Title, err)
@@ -121,9 +128,9 @@ func GenerateReport(w io.Writer, opts ReportOptions) error {
 }
 
 func writeTable1Section(w io.Writer, opts ReportOptions) error {
-	tables, err := sweep.Run(context.Background(), len(opts.Archs), sweepOpts("report_table1", len(opts.Archs), opts.Jobs),
-		func(_ context.Context, i int) (*Table1, error) {
-			return RunTable1(opts.Archs[i], Table1Options{Seed: opts.Seed, Trials: 4})
+	tables, err := sweep.Run(optionsContext(opts.Context), len(opts.Archs), sweepOpts("report_table1", len(opts.Archs), opts.Jobs),
+		func(ctx context.Context, i int) (*Table1, error) {
+			return RunTable1(opts.Archs[i], Table1Options{Context: ctx, Seed: opts.Seed, Trials: 4})
 		})
 	if err != nil {
 		return err
@@ -138,7 +145,7 @@ func writeTable1Section(w io.Writer, opts ReportOptions) error {
 
 func writeFig6Section(w io.Writer, opts ReportOptions) error {
 	fig6Archs := []Microarch{Zen2, Zen4}
-	series, err := RunFig6Sweep(fig6Archs, opts.Seed, opts.Jobs)
+	series, err := RunFig6SweepCtx(opts.Context, fig6Archs, opts.Seed, opts.Jobs)
 	if err != nil {
 		return err
 	}
@@ -160,7 +167,7 @@ func writeFig6Section(w io.Writer, opts ReportOptions) error {
 }
 
 func writeTable2Section(w io.Writer, opts ReportOptions) error {
-	t2opts := Table2Options{Seed: opts.Seed, Bits: opts.Bits, Runs: min(opts.Runs, 10), Jobs: opts.Jobs}
+	t2opts := Table2Options{Context: opts.Context, Seed: opts.Seed, Bits: opts.Bits, Runs: min(opts.Runs, 10), Jobs: opts.Jobs}
 	fetchRows, err := RunTable2Fetch(AMDMicroarchs(), t2opts)
 	if err != nil {
 		return err
@@ -182,21 +189,21 @@ func writeTable2Section(w io.Writer, opts ReportOptions) error {
 }
 
 func writeDerandSections(w io.Writer, opts ReportOptions) error {
-	t3, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
+	t3, err := RunTable3([]Microarch{Zen2, Zen3, Zen4}, DerandOptions{Context: opts.Context, Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
 	writeDerandSection(w, "Kernel image KASLR (Table 3)", t3, []paperRef{
 		{"zen2", "97% / 4.09 s"}, {"zen3", "100% / 1.38 s"}, {"zen4", "95% / 1.23 s"},
 	})
-	t4, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Jobs: opts.Jobs})
+	t4, err := RunTable4([]Microarch{Zen1, Zen2}, DerandOptions{Context: opts.Context, Seed: opts.Seed, Runs: min(opts.Runs, 10), Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
 	writeDerandSection(w, "Physmap KASLR (Table 4)", t4, []paperRef{
 		{"zen1", "100% / 101 s"}, {"zen2", "90% / 106.5 s"},
 	})
-	t5, err := RunTable5(DerandOptions{Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
+	t5, err := RunTable5(DerandOptions{Context: opts.Context, Seed: opts.Seed, Runs: opts.Runs, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
@@ -207,7 +214,7 @@ func writeDerandSections(w io.Writer, opts ReportOptions) error {
 }
 
 func writeMDSSection(w io.Writer, opts ReportOptions) error {
-	mds, err := RunMDSExperiment(Zen2, MDSOptions{Seed: opts.Seed, Runs: min(opts.Runs, 10), Bytes: 1024, Jobs: opts.Jobs})
+	mds, err := RunMDSExperiment(Zen2, MDSOptions{Context: opts.Context, Seed: opts.Seed, Runs: min(opts.Runs, 10), Bytes: 1024, Jobs: opts.Jobs})
 	if err != nil {
 		return err
 	}
@@ -219,7 +226,7 @@ func writeMDSSection(w io.Writer, opts ReportOptions) error {
 
 func writeSpectreV2Section(w io.Writer, opts ReportOptions) error {
 	v2Archs := []Microarch{Zen2, Zen4, Intel13}
-	v2s, err := sweep.Run(context.Background(), len(v2Archs), sweepOpts("report_spectrev2", len(v2Archs), opts.Jobs),
+	v2s, err := sweep.Run(optionsContext(opts.Context), len(v2Archs), sweepOpts("report_spectrev2", len(v2Archs), opts.Jobs),
 		func(_ context.Context, i int) (*core.SpectreV2Result, error) {
 			p, err := v2Archs[i].profile()
 			if err != nil {
@@ -239,7 +246,7 @@ func writeSpectreV2Section(w io.Writer, opts ReportOptions) error {
 }
 
 func writeMitigationSection(w io.Writer, opts ReportOptions) error {
-	mits, err := sweep.Run(context.Background(), len(opts.MitigationArchs), sweepOpts("report_mitigations", len(opts.MitigationArchs), opts.Jobs),
+	mits, err := sweep.Run(optionsContext(opts.Context), len(opts.MitigationArchs), sweepOpts("report_mitigations", len(opts.MitigationArchs), opts.Jobs),
 		func(_ context.Context, i int) (*MitigationSummary, error) {
 			return RunMitigations(opts.MitigationArchs[i], opts.Seed)
 		})
