@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve
+.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve fuzz-decode
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,34 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repo's own invariant analyzers (internal/analysis, driven by the
+# fifth binary): determinism, maporder, noperturb, ctxflow, faultalloc.
+# Exits 1 on any finding, so a stray time.Now or unsorted map range
+# fails the gate before a parity test has to bisect it.
+phantom-vet:
+	$(GO) run ./cmd/phantom-vet ./...
+
+# Third-party gates, pinned to the versions CI installs. Local runs
+# skip them with a notice when the tool is not on PATH (the dev
+# container vendors no third-party modules); CI always installs and
+# runs them, so the merge gate is identical either way.
+STATICCHECK_VERSION = 2024.1.1
+GOVULNCHECK_VERSION = v1.1.4
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; \
+	fi
+
 # The sweep engine made the race detector a meaningful gate for the
 # whole repo: every multi-run experiment now fans (arch, reboot) jobs
 # over a worker pool.
@@ -18,7 +46,7 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs.
-check: vet build test race cover
+check: vet phantom-vet staticcheck govulncheck build test race cover
 
 # Statement coverage with per-package floors (coverage.floors): fails
 # when any package regresses below its recorded seed-state coverage.
@@ -39,6 +67,12 @@ bench-smoke:
 # The parallel-sweep headline number: Table 3 at 1 worker vs GOMAXPROCS.
 bench-sweep:
 	$(GO) test -run xxx -bench 'BenchmarkSweepTable3' -benchtime=3x .
+
+# The decoder fuzzer on a fixed budget, as the scheduled CI job runs
+# it. Local corpus accumulates under the build cache's fuzz directory,
+# which CI persists across runs.
+fuzz-decode:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/isa
 
 # End-to-end gate for the serving subsystem: builds the phantom and
 # phantom-server binaries, boots the server on an ephemeral port, and

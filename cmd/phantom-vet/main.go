@@ -1,0 +1,118 @@
+// Command phantom-vet runs the repo's invariant analyzers — the
+// determinism, parity, and no-perturbation rules the runtime parity
+// tests pin — over Go packages and reports violations at their source
+// positions. It is the fifth phantom binary and the static half of
+// `make check`: the parity tests prove the invariants held on this
+// run, phantom-vet proves nobody wrote code that could break them on
+// another.
+//
+// Usage:
+//
+//	phantom-vet [-run names] [-list] packages...
+//
+// Packages use `go list` pattern syntax (./..., phantom/internal/...,
+// or plain directories). -run restricts the suite to a comma-separated
+// subset of analyzers; -list describes every analyzer and exits.
+//
+// Exit codes follow the convention shared by every phantom binary:
+// 0 on success (no findings), 1 on runtime errors or findings, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phantom/internal/analysis"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the tool and returns the process exit code. Findings
+// go to stdout (they are the program's output); errors go to stderr.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phantom-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	run := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	version := fs.Bool("V", false, "print version and exit (go vet -vettool handshake compatibility)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: phantom-vet [-run names] [-list] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		// The standalone driver is the supported mode (the build
+		// environment vendors no x/tools unitchecker); the flag exists
+		// so `phantom-vet -V=full` identifies itself instead of
+		// misparsing.
+		fmt.Fprintln(stdout, "phantom-vet version dev")
+		return 0
+	}
+	suite, err := selectAnalyzers(*run)
+	if err != nil {
+		fmt.Fprintf(stderr, "phantom-vet: %v\n", err)
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "phantom-vet: no packages named (try ./...)")
+		fs.Usage()
+		return 2
+	}
+	pkgs, err := analysis.Load(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "phantom-vet: %v\n", err)
+		return 1
+	}
+	diags := analysis.Run(suite, pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "phantom-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves a -run list against the suite. An empty
+// spec selects everything; an unknown name is a usage error, because a
+// typo that silently runs zero analyzers would green-light anything.
+func selectAnalyzers(spec string) ([]*analysis.Analyzer, error) {
+	if spec == "" {
+		return analysis.Suite(), nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := analysis.ByName(name)
+		if a == nil {
+			known := make([]string, 0, len(analysis.Suite()))
+			for _, s := range analysis.Suite() {
+				known = append(known, s.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the CLI convention shared by all five binaries:
+// 0 success, 1 runtime error (including findings), 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list analyzers", []string{"-list"}, 0},
+		{"version handshake", []string{"-V"}, 0},
+		{"clean package", []string{"phantom/internal/gf2"}, 0},
+		{"seeded violation", []string{"../../internal/analysis/testdata/src/maporder/bad"}, 1},
+		{"unknown package", []string{"phantom/internal/not-a-package"}, 1},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+		{"no packages", nil, 2},
+		{"unknown analyzer", []string{"-run", "nope", "./..."}, 2},
+		{"empty analyzer list", []string{"-run", ",", "./..."}, 2},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args, io.Discard, io.Discard); got != c.want {
+			t.Errorf("%s: realMain(%v) = %d, want %d", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+// TestSeededViolationOutput drives the gate end to end on a fixture
+// with known violations: findings on stdout with positions and
+// analyzer names, a count on stderr, exit 1. This is the behaviour
+// `make check` relies on to fail the build.
+func TestSeededViolationOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"../../internal/analysis/testdata/src/maporder/bad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"bad.go:", "(maporder)", "random order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing the findings count: %s", stderr.String())
+	}
+}
+
+// TestRunSubset checks -run restricts the suite: the maporder fixture
+// also violates noperturb (it prints inside the loop), but a
+// -run=faultalloc pass must stay silent on it.
+func TestRunSubset(t *testing.T) {
+	var stdout bytes.Buffer
+	code := realMain([]string{"-run", "faultalloc", "../../internal/analysis/testdata/src/maporder/bad"}, &stdout, io.Discard)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected findings: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	code = realMain([]string{"-run", "noperturb,maporder", "../../internal/analysis/testdata/src/maporder/bad"}, &stdout, io.Discard)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "(noperturb)") || !strings.Contains(stdout.String(), "(maporder)") {
+		t.Errorf("expected both analyzers in output:\n%s", stdout.String())
+	}
+}
+
+// TestListDescribesEveryAnalyzer keeps -list in sync with the suite.
+func TestListDescribesEveryAnalyzer(t *testing.T) {
+	var stdout bytes.Buffer
+	if code := realMain([]string{"-list"}, &stdout, io.Discard); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}

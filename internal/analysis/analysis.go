@@ -1,0 +1,211 @@
+// Package analysis is phantom-vet: a small static-analysis suite that
+// enforces the simulator's determinism, parity, and no-perturbation
+// invariants at compile time instead of discovering violations in the
+// runtime parity tests.
+//
+// The repo's core value is that every experiment is bit-deterministic
+// for a given seed — that is what lets the predecode, telemetry, and
+// serving subsystems pin byte-identical parity. Those invariants die by
+// a thousand cuts: a stray time.Now in a hot loop, an unseeded
+// math/rand call, a map range feeding rendered output. Each analyzer in
+// this package encodes one such invariant as a syntactic/type-level
+// rule so `make check` rejects the cut before a parity test has to
+// bisect it.
+//
+// The package is deliberately self-contained: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, an
+// analysistest-style fixture harness) on top of the standard library's
+// go/ast and go/types only, because the build environment vendors no
+// third-party modules. If the tree ever grows an x/tools dependency,
+// each Analyzer here translates mechanically: Run already has the
+// (pass) -> diagnostics signature.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is the stdlib-only
+// analogue of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// phantomvet:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the
+	// analyzer enforces and why the repo needs it.
+	Doc string
+
+	// Applies reports whether the analyzer's invariant covers the
+	// given package path and file. The driver consults it for real
+	// packages; the fixture harness ignores it so testdata can
+	// exercise the raw rule. A nil Applies means "everywhere".
+	Applies func(pkgPath, filename string) bool
+
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one package's syntax and type information through an
+// Analyzer.Run invocation.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: an invariant violation at a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col form the other
+// phantom binaries (and go vet) use.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// ignoreDirective matches a suppression comment. The analyzer name (or
+// "all") must follow the directive; anything after it is the
+// human-facing justification, which is mandatory in spirit — a bare
+// ignore with no reason tells a reviewer nothing.
+//
+// The name list is comma-separated with no spaces; everything after
+// the first space is the reason.
+//
+//	x := pick(m) //phantomvet:ignore maporder keys are re-sorted by caller
+var ignoreDirective = regexp.MustCompile(`(?://|/\*)\s*phantomvet:ignore\s+([a-z,]+)`)
+
+// ignoredLines maps file line numbers to the set of analyzer names
+// suppressed on that line (a directive suppresses its own line and the
+// line immediately below, so it can sit above the flagged statement).
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	add := func(line int, name string) {
+		if out[line] == nil {
+			out[line] = make(map[string]bool)
+		}
+		out[line][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' }) {
+					add(line, name)
+					add(line+1, name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runOne applies a single analyzer to a package and returns its
+// diagnostics with phantomvet:ignore suppressions already removed and
+// positions sorted. When scoped is true, diagnostics in files outside
+// a.Applies are dropped (package-level applicability is the caller's
+// concern; file-level is handled here because only the diagnostic
+// knows its file).
+func runOne(a *Analyzer, pkg *Package, scoped bool) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	a.Run(pass)
+	ignored := ignoredLines(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if s := ignored[d.Pos.Line]; s != nil && (s[a.Name] || s["all"]) {
+			continue
+		}
+		if scoped && a.Applies != nil && !a.Applies(pkg.PkgPath, d.Pos.Filename) {
+			continue
+		}
+		out = append(out, d)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Run applies every analyzer in the suite to every package, honouring
+// each analyzer's Applies scope, and returns the combined findings
+// sorted by position.
+func Run(suite []*Analyzer, pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range suite {
+			if a.Applies != nil && !packageInScope(a, pkg) {
+				continue
+			}
+			out = append(out, runOne(a, pkg, true)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// packageInScope reports whether any file of pkg is covered by a's
+// Applies predicate, so Run can skip whole packages cheaply.
+func packageInScope(a *Analyzer, pkg *Package) bool {
+	for _, f := range pkg.Files {
+		if a.Applies(pkg.PkgPath, pkg.Fset.Position(f.Pos()).Filename) {
+			return true
+		}
+	}
+	return false
+}

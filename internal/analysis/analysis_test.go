@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestSuiteNamesAndLookup(t *testing.T) {
+	want := []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if a.Applies == nil {
+			t.Errorf("%s: nil Applies scope", a.Name)
+		}
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the suite analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of an unknown analyzer returned non-nil")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: "machine.go", Line: 7, Column: 3},
+		Message:  "time.Now reads the wall clock",
+	}
+	want := "machine.go:7:3: time.Now reads the wall clock (determinism)"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //phantomvet:ignore maporder keys re-sorted by the caller
+	//phantomvet:ignore determinism,ctxflow seeded upstream
+	_ = 2
+	//phantomvet:ignore all generated code
+	_ = 3
+	// a comment merely mentioning phantomvet suppresses nothing
+}
+`)
+	ig := ignoredLines(fset, files)
+	cases := []struct {
+		line int
+		name string
+		want bool
+	}{
+		{4, "maporder", true},
+		{4, "determinism", false}, // directives name their analyzer
+		{5, "determinism", true},
+		{6, "determinism", true}, // directive covers the next line too
+		{6, "ctxflow", true},
+		{6, "maporder", false},
+		{8, "all", true},
+		{9, "maporder", false}, // prose is not a directive
+	}
+	for _, c := range cases {
+		if got := ig[c.line][c.name]; got != c.want {
+			t.Errorf("line %d name %q: ignored=%v, want %v", c.line, c.name, got, c.want)
+		}
+	}
+}
+
+// TestSuppressionFiltersDiagnostics runs a real analyzer over source
+// with a directive and checks the finding is dropped end to end.
+func TestSuppressionFiltersDiagnostics(t *testing.T) {
+	diags, _, err := AnalyzeDir(MapOrder, fixture("maporder", "ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("suppressed fixture still produced: %s", d)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		a        *Analyzer
+		pkgPath  string
+		filename string
+		want     bool
+	}{
+		{Determinism, "phantom/internal/pipeline", "machine.go", true},
+		{Determinism, "phantom/internal/stats", "stats.go", true},
+		{Determinism, "phantom", "experiments.go", true},
+		{Determinism, "phantom", "report.go", false},
+		{Determinism, "phantom/internal/telemetry", "hub.go", false},
+		{Determinism, "phantom/internal/sweep", "sweep.go", false},
+		{Determinism, "phantom/cmd/phantom", "main.go", false},
+
+		{MapOrder, "phantom", "report.go", true},
+		{MapOrder, "phantom/internal/telemetry", "debug.go", true},
+		{MapOrder, "phantom/cmd/phantom", "main.go", true},
+
+		{NoPerturb, "phantom/internal/pipeline", "machine.go", true},
+		{NoPerturb, "phantom/internal/service", "exec.go", true},
+		{NoPerturb, "phantom", "experiments.go", true},
+		{NoPerturb, "phantom", "report.go", false},
+		{NoPerturb, "phantom/internal/telemetry", "progress.go", false},
+		{NoPerturb, "phantom/internal/telemetry", "hub.go", true},
+		{NoPerturb, "phantom/cmd/phantom-vet", "main.go", false},
+		{NoPerturb, "phantom/examples/quickstart", "main.go", false},
+		{NoPerturb, "phantom/internal/tools/servesmoke", "main.go", false},
+
+		{CtxFlow, "phantom/internal/service", "coalesce.go", true},
+		{CtxFlow, "phantom/internal/sweep", "sweep.go", true},
+		{CtxFlow, "phantom/cmd/phantom-server", "main.go", false},
+		{CtxFlow, "phantom", "experiments.go", false},
+
+		{FaultAlloc, "phantom/internal/mem", "mem.go", true},
+		{FaultAlloc, "phantom/internal/pipeline", "predecode.go", true},
+		{FaultAlloc, "phantom/internal/service", "server.go", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Applies(c.pkgPath, c.filename); got != c.want {
+			t.Errorf("%s.Applies(%q, %q) = %v, want %v", c.a.Name, c.pkgPath, c.filename, got, c.want)
+		}
+	}
+}
+
+func TestSplitWantPatterns(t *testing.T) {
+	res, err := splitWantPatterns(`"wall clock" "seeded"`)
+	if err != nil || len(res) != 2 {
+		t.Fatalf("got %v, %v; want two patterns", res, err)
+	}
+	if !res[0].MatchString("time.Now reads the wall clock") {
+		t.Error("first pattern does not match")
+	}
+	for _, bad := range []string{"", "unquoted", `"unterminated`, `"("`} {
+		if _, err := splitWantPatterns(bad); err == nil {
+			t.Errorf("splitWantPatterns(%q): expected error", bad)
+		}
+	}
+}
+
+// failRecorder captures harness failures so the harness itself can be
+// tested against deliberately mismatched fixtures.
+type failRecorder struct {
+	errors []string
+	fatal  string
+}
+
+func (r *failRecorder) Helper() {}
+func (r *failRecorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *failRecorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(r)
+}
+
+func runFixtureRecovering(a *Analyzer, dir string) (rec *failRecorder) {
+	rec = &failRecorder{}
+	defer func() {
+		if p := recover(); p != nil && p != any(rec) {
+			panic(p)
+		}
+	}()
+	RunFixture(rec, a, dir)
+	return rec
+}
+
+func TestHarnessReportsMismatches(t *testing.T) {
+	// Running the wrong analyzer over an annotated fixture must fail
+	// both ways: its want comments go unmatched, and (for a fixture
+	// that also violates the wrong analyzer's rule) diagnostics arrive
+	// unexpected.
+	rec := runFixtureRecovering(CtxFlow, fixture("determinism", "bad"))
+	if len(rec.errors) == 0 {
+		t.Fatal("harness accepted a fixture whose want comments matched nothing")
+	}
+	for _, e := range rec.errors {
+		if !strings.Contains(e, "expected a diagnostic") {
+			t.Errorf("unexpected error kind: %s", e)
+		}
+	}
+
+	rec = runFixtureRecovering(NoPerturb, fixture("maporder", "bad"))
+	var unexpected bool
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected diagnostic") {
+			unexpected = true
+		}
+	}
+	if !unexpected {
+		t.Error("harness did not report the wrong analyzer's extra diagnostics")
+	}
+}
+
+func TestHarnessRejectsBrokenFixture(t *testing.T) {
+	rec := runFixtureRecovering(Determinism, fixture("does", "not", "exist"))
+	if rec.fatal == "" {
+		t.Fatal("harness accepted a missing fixture directory")
+	}
+}

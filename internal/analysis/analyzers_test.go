@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Each analyzer gets a flagging (bad) and a non-flagging (ok) fixture
+// package. The bad fixtures annotate every expected diagnostic with a
+// // want "regexp" comment; the ok fixtures must produce none.
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	RunFixture(t, Determinism, fixture("determinism", "bad"))
+	RunFixture(t, Determinism, fixture("determinism", "ok"))
+}
+
+func TestMapOrderFixtures(t *testing.T) {
+	RunFixture(t, MapOrder, fixture("maporder", "bad"))
+	RunFixture(t, MapOrder, fixture("maporder", "ok"))
+}
+
+func TestNoPerturbFixtures(t *testing.T) {
+	RunFixture(t, NoPerturb, fixture("noperturb", "bad"))
+	RunFixture(t, NoPerturb, fixture("noperturb", "ok"))
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	RunFixture(t, CtxFlow, fixture("ctxflow", "bad"))
+	RunFixture(t, CtxFlow, fixture("ctxflow", "ok"))
+}
+
+func TestFaultAllocFixtures(t *testing.T) {
+	RunFixture(t, FaultAlloc, fixture("faultalloc", "bad"))
+	RunFixture(t, FaultAlloc, fixture("faultalloc", "ok"))
+}
+
+// TestCrossAnalyzerSilence pins that analyzers do not fire on each
+// other's fixtures where the invariants do not overlap: the
+// determinism fixtures never print, the noperturb fixtures never read
+// clocks, and nothing outside the ctxflow fixtures minds contexts.
+func TestCrossAnalyzerSilence(t *testing.T) {
+	cases := []struct {
+		a       *Analyzer
+		fixture string
+	}{
+		{Determinism, fixture("noperturb", "bad")},
+		{Determinism, fixture("ctxflow", "bad")},
+		{Determinism, fixture("faultalloc", "bad")},
+		{NoPerturb, fixture("determinism", "bad")},
+		{NoPerturb, fixture("ctxflow", "bad")},
+		{CtxFlow, fixture("determinism", "bad")},
+		{CtxFlow, fixture("faultalloc", "bad")},
+		{FaultAlloc, fixture("determinism", "bad")},
+		{FaultAlloc, fixture("maporder", "bad")},
+		{MapOrder, fixture("determinism", "bad")},
+		{MapOrder, fixture("faultalloc", "bad")},
+	}
+	for _, c := range cases {
+		diags, _, err := AnalyzeDir(c.a, c.fixture)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", c.a.Name, c.fixture, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s fired on %s: %s", c.a.Name, c.fixture, d)
+		}
+	}
+}

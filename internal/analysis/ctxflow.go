@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow forbids minting a fresh root context where a caller-provided
+// one is in scope.
+//
+// The serving subsystem threads one context per request end-to-end:
+// client disconnects and deadlines must cancel the sweep workers and
+// the experiment drivers they feed, or a dead request keeps burning a
+// scheduler slot. context.Background()/TODO() inside that call chain
+// silently forks the cancellation tree — everything below the fork
+// ignores the caller. The analyzer flags exactly that: a Background/
+// TODO call lexically inside a function (or closure) that already has
+// a context.Context parameter in scope. Deliberate detaches (the
+// request coalescer's flight context, whose lifetime is the set of
+// waiters rather than any single caller) carry a phantomvet:ignore
+// with the justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/context.TODO() where a caller-provided context is in scope — " +
+		"cancellation must flow end-to-end, not fork",
+	Applies: ctxFlowScope,
+	Run:     runCtxFlow,
+}
+
+// ctxFlowScope: the packages on the request path below the CLIs. The
+// binaries in cmd/ own their root contexts legitimately.
+func ctxFlowScope(pkgPath, filename string) bool {
+	return pkgPath == "phantom/internal/service" || pkgPath == "phantom/internal/sweep"
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		checkCtxNode(pass, file, false)
+	}
+}
+
+// checkCtxNode walks n. inScope records whether some enclosing
+// function has a context.Context parameter; closures inherit it, since
+// the captured context is still reachable where the closure's body
+// runs.
+func checkCtxNode(pass *Pass, n ast.Node, inScope bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkCtxNode(pass, n.Body, inScope || hasCtxParam(pass, n.Type))
+			}
+			return false
+		case *ast.FuncLit:
+			checkCtxNode(pass, n.Body, inScope || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.SelectorExpr:
+			if !inScope {
+				return true
+			}
+			_, pkgPath := selectorPackage(pass, n)
+			if pkgPath == "context" && (n.Sel.Name == "Background" || n.Sel.Name == "TODO") {
+				pass.Reportf(n.Pos(), "context.%s forks the cancellation tree while a caller-provided context is in scope; thread the caller's context (or phantomvet:ignore with the detach rationale)", n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether ft declares a parameter of type
+// context.Context.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTypeChecksModulePackage loads a real module package through
+// the go list + source-importer pipeline and sanity-checks the result
+// carries syntax, types, and resolved uses.
+func TestLoadTypeChecksModulePackage(t *testing.T) {
+	pkgs, err := Load([]string{"phantom/internal/gf2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.PkgPath != "phantom/internal/gf2" {
+		t.Errorf("PkgPath = %q", p.PkgPath)
+	}
+	if len(p.Files) == 0 {
+		t.Error("no files loaded")
+	}
+	if p.Types == nil || p.Types.Name() != "gf2" {
+		t.Errorf("types package = %v", p.Types)
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Error("no uses resolved; analyzers would be blind")
+	}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded; invariants only cover shipped code", name)
+		}
+	}
+}
+
+// TestLoadRunsSuiteOnIntraModuleImports loads a package that imports
+// other module packages (sweep imports telemetry), exercising the
+// source importer's module resolution.
+func TestLoadRunsSuiteOnIntraModuleImports(t *testing.T) {
+	pkgs, err := Load([]string{"phantom/internal/sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(Suite(), pkgs)
+	for _, d := range diags {
+		t.Errorf("clean package produced: %s", d)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load([]string{"phantom/internal/definitely-not-here"}); err == nil {
+		t.Fatal("expected an error for an unknown package")
+	}
+}

@@ -1,0 +1,370 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose body performs an
+// iteration-order-sensitive effect without the keys being sorted.
+//
+// Go randomizes map iteration order per run, so any map range that
+// appends to a slice later rendered, writes to an io.Writer or hash,
+// accumulates floating-point sums, or returns/breaks on an arbitrary
+// element produces output that differs between two runs with the same
+// seed — exactly the class of bug the golden/parity tests exist to
+// catch, except those only catch it when the map happens to reshuffle
+// under the test runner. The analyzer proves the absence of the
+// pattern instead.
+//
+// Order-insensitive bodies are allowed: writes keyed into another map,
+// deletes, integer counters (associative and commutative), and the
+// canonical collect-then-sort idiom where the loop only appends keys
+// to a slice that is passed to sort.* / slices.Sort* before any other
+// use.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map ranges whose body has iteration-order-sensitive effects (output, hashes, " +
+		"slice appends never sorted, float sums, early exit) — sort the keys first",
+	Applies: mapOrderScope,
+	Run:     runMapOrder,
+}
+
+// mapOrderScope: everything in the module. Rendered output reaches
+// stdout through many layers (report, service, telemetry run logs,
+// the CLIs), and the simulation packages must not have order-dependent
+// state transitions either; examples are included because their output
+// is pasted into docs.
+func mapOrderScope(pkgPath, filename string) bool { return true }
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, body := funcParts(n)
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn, body)
+			return true
+		})
+	}
+}
+
+// funcParts extracts the body from a function declaration or literal,
+// so map ranges can be checked against the statements that follow them
+// in the same function (for the collect-then-sort idiom).
+func funcParts(n ast.Node) (ast.Node, *ast.BlockStmt) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn, fn.Body
+	case *ast.FuncLit:
+		return fn, fn.Body
+	}
+	return nil, nil
+}
+
+// checkMapRanges recursively walks the statement blocks of a function
+// body looking for map ranges. For each one found, the statements that
+// lexically follow it in its enclosing block are passed along — the
+// window in which an appended slice may still be sorted.
+func checkMapRanges(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
+	var walkBlock func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt, rest []ast.Stmt)
+	walkStmt = func(s ast.Stmt, rest []ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, s.X) {
+				checkMapRangeBody(pass, s, rest)
+			}
+			walkBlock(s.Body.List)
+		case *ast.BlockStmt:
+			walkBlock(s.List)
+		case *ast.IfStmt:
+			walkBlock(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else, nil)
+			}
+		case *ast.ForStmt:
+			walkBlock(s.Body.List)
+		case *ast.SwitchStmt:
+			walkBlock(s.Body.List)
+		case *ast.TypeSwitchStmt:
+			walkBlock(s.Body.List)
+		case *ast.SelectStmt:
+			walkBlock(s.Body.List)
+		case *ast.CaseClause:
+			walkBlock(s.Body)
+		case *ast.CommClause:
+			walkBlock(s.Body)
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, rest)
+		}
+		// Function literals under s (assigned, deferred, passed as
+		// arguments) are found by runMapOrder's own traversal and
+		// checked as functions in their own right.
+	}
+	walkBlock = func(stmts []ast.Stmt) {
+		for i, s := range stmts {
+			walkStmt(s, stmts[i+1:])
+		}
+	}
+	walkBlock(body.List)
+}
+
+func isMapType(pass *Pass, x ast.Expr) bool {
+	tv, ok := pass.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody applies the order-sensitivity rules to one map
+// range. rest is the statement tail of the block containing the range,
+// used to discharge appends via a later sort. breakable tracks whether
+// an unlabeled break at the current nesting level would exit the map
+// range itself (true) or an inner loop/switch (false).
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	var walk func(stmts []ast.Stmt, breakable bool)
+	walkStmt := func(s ast.Stmt, breakable bool) {
+		switch s := s.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass, s.X) {
+				return // nested map range gets its own diagnostic pass
+			}
+			walk(s.Body.List, false)
+		case *ast.ForStmt:
+			walk(s.Body.List, false)
+		case *ast.SwitchStmt:
+			walkSwitchBody(pass, s.Body, &walk)
+		case *ast.TypeSwitchStmt:
+			walkSwitchBody(pass, s.Body, &walk)
+		case *ast.SelectStmt:
+			walkSwitchBody(pass, s.Body, &walk)
+		case *ast.BlockStmt:
+			walk(s.List, breakable)
+		case *ast.IfStmt:
+			walk(s.Body.List, breakable)
+			if s.Else != nil {
+				walk([]ast.Stmt{s.Else}, breakable)
+			}
+		case *ast.LabeledStmt:
+			walk([]ast.Stmt{s.Stmt}, breakable)
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && s.Label == nil && breakable {
+				pass.Reportf(s.Pos(), "break out of a map range selects an arbitrary element; iterate sorted keys")
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) > 0 {
+				pass.Reportf(s.Pos(), "return inside a map range selects an arbitrary element; iterate sorted keys")
+			}
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send inside a map range publishes elements in random order; iterate sorted keys")
+		case *ast.GoStmt:
+			pass.Reportf(s.Pos(), "goroutine launched inside a map range starts work in random order; iterate sorted keys")
+		case *ast.ExprStmt:
+			checkMapRangeCall(pass, s.X)
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, s, rs, rest)
+		}
+	}
+	walk = func(stmts []ast.Stmt, breakable bool) {
+		for _, s := range stmts {
+			walkStmt(s, breakable)
+		}
+	}
+	walk(rs.Body.List, true)
+}
+
+// walkSwitchBody visits the case bodies of a switch/select inside a
+// map range. An unlabeled break there exits the switch, not the range.
+func walkSwitchBody(pass *Pass, body *ast.BlockStmt, walk *func([]ast.Stmt, bool)) {
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			(*walk)(c.Body, false)
+		case *ast.CommClause:
+			(*walk)(c.Body, false)
+		}
+	}
+}
+
+// checkMapRangeCall handles a bare call statement inside a map range.
+// A call evaluated purely for its side effects runs those side effects
+// in map order, which is only safe if the callee is commutative — a
+// property the analyzer cannot see, so the call is flagged and
+// intentionally-commutative sites carry a phantomvet:ignore with the
+// argument why.
+func checkMapRangeCall(pass *Pass, call ast.Expr) {
+	c, ok := call.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, ok := builtinName(pass, c); ok {
+		switch name {
+		case "delete":
+			return // removing keys is order-insensitive
+		case "print", "println":
+			pass.Reportf(c.Pos(), "%s inside a map range emits output in random order; iterate sorted keys", name)
+			return
+		}
+	}
+	pass.Reportf(c.Pos(), "call evaluated for effect inside a map range runs in random order; iterate sorted keys (or phantomvet:ignore with the commutativity argument)")
+}
+
+// checkMapRangeAssign handles assignments inside a map range body.
+func checkMapRangeAssign(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt, rest []ast.Stmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x[k] = v, locals, and field sets are order-insensitive (the
+		// final state does not depend on visit order as long as keys
+		// are distinct, which map ranges guarantee). The exception is
+		// an append chain: out = append(out, ...) builds a slice in
+		// map order.
+		for i, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				if name, ok := builtinName(pass, call); ok && name == "append" && i < len(s.Lhs) {
+					if !sortedLater(pass, s.Lhs[i], rest) {
+						pass.Reportf(call.Pos(), "append inside a map range builds a slice in random order; sort it before use (or collect keys and sort)")
+					}
+				}
+			}
+		}
+	default:
+		// Compound assignment: s += v and friends. Integer and bitwise
+		// accumulation is associative+commutative and therefore safe;
+		// string concatenation depends on order, float addition on
+		// rounding order.
+		lhsType := pass.Info.Types[s.Lhs[0]].Type
+		if lhsType == nil {
+			return
+		}
+		b, ok := lhsType.Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case b.Info()&types.IsString != 0:
+			pass.Reportf(s.Pos(), "string concatenation inside a map range depends on iteration order; iterate sorted keys")
+		case b.Info()&(types.IsFloat|types.IsComplex) != 0:
+			pass.Reportf(s.Pos(), "floating-point accumulation inside a map range depends on iteration order (rounding); iterate sorted keys")
+		}
+	}
+}
+
+// sortedLater reports whether target (the LHS of an append inside a
+// map range) is passed to a sort function in the statements following
+// the range before anything else uses it. Only the canonical direct
+// forms are recognized: sort.X(target, ...) and slices.X(target, ...).
+func sortedLater(pass *Pass, target ast.Expr, rest []ast.Stmt) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			_, pkgPath := selectorPackage(pass, sel)
+			if pkgPath != "sort" && pkgPath != "slices" {
+				return true
+			}
+			if argID, ok := call.Args[0].(*ast.Ident); ok && pass.Info.Uses[argID] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+		// Any other use of the slice before a sort (a return, a write,
+		// a call argument) consumes it in map order. Further appends —
+		// x = append(x, ...) from another collection loop — are
+		// neutral: they extend the unordered prefix that the eventual
+		// sort fixes up.
+		if usesObjectOrderSensitively(pass, s, obj) {
+			return false
+		}
+	}
+	return false
+}
+
+// usesObjectOrderSensitively reports whether any identifier under n
+// resolves to obj outside the neutral self-append form
+// `obj = append(obj, ...)`.
+func usesObjectOrderSensitively(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && isSelfAppend(pass, as, obj) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSelfAppend matches `obj = append(obj, args...)` where no arg uses
+// obj again.
+func isSelfAppend(pass *Pass, as *ast.AssignStmt, obj types.Object) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || (pass.Info.Uses[lhs] != obj && pass.Info.Defs[lhs] != obj) {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if name, isBuiltin := builtinName(pass, call); !isBuiltin || name != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.Info.Uses[first] != obj {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if usesObjectOrderSensitively(pass, arg, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// builtinName returns the name of the builtin being called, if the
+// call's function is a universe-scope builtin like append or delete.
+func builtinName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}

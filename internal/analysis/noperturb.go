@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPerturb forbids writing to the process's standard streams from
+// anywhere except the CLI front ends and the telemetry progress
+// writer.
+//
+// Every experiment's stdout is byte-pinned: golden tests, the
+// served-vs-CLI parity test, and the telemetry on/off parity tests all
+// compare exact bytes. A stray fmt.Println deep in a simulation
+// package — even a temporary debugging one — perturbs that output (or,
+// on stderr, interleaves with the progress line) in a way the parity
+// suite can only catch per-experiment. Simulation and harness packages
+// therefore render exclusively through io.Writer parameters the caller
+// owns; only cmd/, the examples, the dev tools, and the telemetry
+// progress writer may touch os.Stdout/os.Stderr.
+var NoPerturb = &Analyzer{
+	Name: "noperturb",
+	Doc: "forbid fmt.Print*/os.Stdout/os.Stderr/log output outside cmd/, examples/, " +
+		"internal/tools/, report.go and the telemetry progress writer — render through caller-owned io.Writers",
+	Applies: noPerturbScope,
+	Run:     runNoPerturb,
+}
+
+func noPerturbScope(pkgPath, filename string) bool {
+	if pkgPath == "phantom" && base(filename) == "report.go" {
+		return false // the report builder's documented stdout examples
+	}
+	if pkgPath == "phantom/internal/telemetry" && base(filename) == "progress.go" {
+		return false // the progress writer is the sanctioned stderr path
+	}
+	for _, prefix := range []string{"phantom/cmd/", "phantom/examples/", "phantom/internal/tools/"} {
+		if strings.HasPrefix(pkgPath, prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+func runNoPerturb(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := builtinName(pass, n); ok && (name == "print" || name == "println") {
+					pass.Reportf(n.Pos(), "builtin %s writes to stderr and perturbs byte-pinned output; render through a caller-owned io.Writer", name)
+				}
+			case *ast.SelectorExpr:
+				pkgName, pkgPath := selectorPackage(pass, n)
+				if pkgName == nil {
+					return true
+				}
+				switch pkgPath {
+				case "fmt":
+					switch n.Sel.Name {
+					case "Print", "Printf", "Println":
+						pass.Reportf(n.Pos(), "fmt.%s writes to os.Stdout and perturbs byte-pinned output; render through a caller-owned io.Writer", n.Sel.Name)
+					}
+				case "os":
+					switch n.Sel.Name {
+					case "Stdout", "Stderr":
+						pass.Reportf(n.Pos(), "direct os.%s access outside the CLI layer perturbs byte-pinned output; accept an io.Writer instead", n.Sel.Name)
+					}
+				case "log":
+					if strings.HasPrefix(n.Sel.Name, "Print") || strings.HasPrefix(n.Sel.Name, "Fatal") || strings.HasPrefix(n.Sel.Name, "Panic") {
+						pass.Reportf(n.Pos(), "log.%s writes to the process-global logger (stderr); render through a caller-owned io.Writer", n.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,24 @@
+// Package bad forks the cancellation tree: fresh root contexts minted
+// where a caller-provided context is already in scope.
+package bad
+
+import "context"
+
+func handler(ctx context.Context, run func(context.Context) error) error {
+	return run(context.Background()) // want "forks the cancellation tree"
+}
+
+func worker(ctx context.Context, jobs []func(context.Context)) {
+	for _, job := range jobs {
+		go func(j func(context.Context)) {
+			// The closure has no ctx parameter of its own, but the
+			// caller's ctx is still in scope — the fork is just as
+			// silent.
+			j(context.TODO()) // want "forks the cancellation tree"
+		}(job)
+	}
+}
+
+func deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) // want "forks the cancellation tree"
+}

@@ -1,0 +1,25 @@
+// Package ok threads contexts the sanctioned way: roots are minted
+// only where no caller context exists, and deliberate detaches carry
+// the justification in a suppression.
+package ok
+
+import "context"
+
+// newRoot has no context parameter: it IS the root of a tree (a main
+// loop, a test, a background daemon), so Background is correct.
+func newRoot() context.Context {
+	return context.Background()
+}
+
+func threaded(ctx context.Context, run func(context.Context) error) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return run(child)
+}
+
+func detached(ctx context.Context, run func(context.Context) error) error {
+	// The evaluation outlives any single caller by design; its
+	// lifetime is managed by the flight's own cancel.
+	execCtx := context.Background() //phantomvet:ignore ctxflow flight outlives individual waiters
+	return run(execCtx)
+}

@@ -1,0 +1,28 @@
+// Package bad seeds every way ambient entropy leaks into a
+// simulation: wall-clock reads and the process-global rand source.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()                      // want "wall clock"
+	defer func() { _ = time.Since(start) }() // want "wall clock"
+	if time.Until(start) > 0 {               // want "wall clock"
+		return 1
+	}
+	return 0
+}
+
+func globalRand() int {
+	n := rand.Intn(100)                // want "process-global source"
+	f := rand.Float64()                // want "process-global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "process-global source"
+	rand.Seed(42)                      // want "process-global source"
+	pick := rand.Int63                 // want "process-global source"
+	_ = f
+	_ = pick
+	return n
+}

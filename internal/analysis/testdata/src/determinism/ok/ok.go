@@ -1,0 +1,21 @@
+// Package ok shows the sanctioned forms: all randomness flows from a
+// seeded *rand.Rand, and durations are simulated, not measured.
+package ok
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Simulated time is computed from cycle counts, never measured.
+const cycleTime = time.Nanosecond
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}
+
+func threaded(rng *rand.Rand) float64 {
+	z := rand.NewZipf(rng, 1.1, 1, 1<<20)
+	return float64(z.Uint64()) * cycleTime.Seconds()
+}

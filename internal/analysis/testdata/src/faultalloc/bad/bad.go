@@ -1,0 +1,27 @@
+// Package bad heap-allocates Fault values the way the flattened fast
+// path must never do again.
+package bad
+
+// Fault mirrors the simulator's page-fault record.
+type Fault struct {
+	VA   uint64
+	Kind int
+}
+
+func translate(va uint64, present bool) (uint64, *Fault) {
+	if !present {
+		return 0, &Fault{VA: va, Kind: 1} // want "allocates on the hot path"
+	}
+	f := new(Fault) // want "allocates on the hot path"
+	f.VA = va
+	return va, f
+}
+
+func probe(va uint64) *Fault {
+	f := Fault{VA: va}
+	return &f // escaping a named value is fine for the analyzer; only literal allocs are shape-checked
+}
+
+func escapeLiteral(va uint64) *Fault {
+	return &Fault{VA: va} // want "allocates on the hot path"
+}

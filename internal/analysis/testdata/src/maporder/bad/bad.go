@@ -1,0 +1,71 @@
+// Package bad collects the iteration-order-sensitive map-range shapes
+// the analyzer must reject: unsorted appends, output in the loop body,
+// order-dependent accumulation, and arbitrary-element selection.
+package bad
+
+import "fmt"
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "builds a slice in random order"
+	}
+	return keys
+}
+
+func printsInOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "runs in random order"
+	}
+}
+
+func accumulates(m map[string]float64) (string, float64) {
+	var s string
+	var sum float64
+	for k, v := range m {
+		s += k   // want "string concatenation"
+		sum += v // want "floating-point accumulation"
+	}
+	return s, sum
+}
+
+func pickAny(m map[string]int) string {
+	for k := range m {
+		return k // want "arbitrary element"
+	}
+	return ""
+}
+
+func breaksOut(m map[string]int) {
+	n := 0
+	for range m {
+		n++
+		if n > 3 {
+			break // want "arbitrary element"
+		}
+	}
+}
+
+func publishes(m map[string]int, ch chan string, sink func(string)) {
+	for k := range m {
+		ch <- k // want "random order"
+	}
+	for k := range m {
+		go sink(k) // want "random order"
+	}
+	for k := range m {
+		sink(k) // want "runs in random order"
+	}
+}
+
+func appendUsedBeforeSort(m map[string]int, render func([]string)) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "builds a slice in random order"
+	}
+	render(keys) // consumed in map order: the later sort is too late
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings([]string) {}

@@ -1,0 +1,86 @@
+// Package ok collects the order-insensitive map-range shapes the
+// analyzer must accept: collect-then-sort, map-to-map copies, integer
+// accumulation, deletes, and breaks that exit inner loops only.
+package ok
+
+import (
+	"sort"
+)
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[uint64]int) []uint64 {
+	var pages []uint64
+	for p := range m {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// mergeThenSort appends keys from two maps into one slice before the
+// single sort — the shape the telemetry /metrics renderer uses.
+func mergeThenSort(counters map[string]uint64, gauges map[string]int64) []string {
+	names := make([]string, 0, len(counters)+len(gauges))
+	for name := range counters {
+		names = append(names, name)
+	}
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func copyAndCount(m map[string]int) (map[string]int, int) {
+	out := make(map[string]int, len(m))
+	n := 0
+	for k, v := range m {
+		out[k] = v
+		n += v
+		n++
+	}
+	return out, n
+}
+
+func prune(m map[string]bool) {
+	for k, keep := range m {
+		if !keep {
+			delete(m, k)
+		}
+	}
+}
+
+func innerBreakAndSwitch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break // exits the inner slice loop, not the map range
+			}
+			total += v
+		}
+		switch total {
+		case 0:
+			break // exits the switch, not the map range
+		default:
+			total |= 1
+		}
+	}
+	return total
+}
+
+func suppressedPick(m map[string]int) string {
+	for k := range m {
+		//phantomvet:ignore maporder the caller tolerates any element (cache eviction victim)
+		return k
+	}
+	return ""
+}

@@ -1,0 +1,27 @@
+// Package bad collects every way a simulation package can write to
+// the process's standard streams and perturb byte-pinned output.
+package bad
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func debugPrints(x int) {
+	fmt.Println("x =", x)     // want "byte-pinned output"
+	fmt.Printf("x = %d\n", x) // want "byte-pinned output"
+	fmt.Print(x)              // want "byte-pinned output"
+	println("quick debug", x) // want "byte-pinned output"
+}
+
+func streamRefs() {
+	fmt.Fprintln(os.Stdout, "hi") // want "accept an io.Writer"
+	w := os.Stderr                // want "accept an io.Writer"
+	_ = w
+}
+
+func logging(err error) {
+	log.Printf("oops: %v", err) // want "process-global logger"
+	log.Println("done")         // want "process-global logger"
+}

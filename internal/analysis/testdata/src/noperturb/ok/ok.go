@@ -1,0 +1,17 @@
+// Package ok renders the sanctioned way: through io.Writer parameters
+// the caller owns, or into strings the caller places.
+package ok
+
+import (
+	"fmt"
+	"io"
+)
+
+func render(w io.Writer, x int) {
+	fmt.Fprintf(w, "x = %d\n", x)
+	fmt.Fprintln(w, "done")
+}
+
+func describe(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"phantom/internal/gf2"
 	"phantom/internal/isa"
@@ -322,8 +323,15 @@ func RecoverBTBFunctions(p *uarch.Profile, seed int64, wantSamples, maxBatches i
 			res.Samples++
 			dry = 0
 		}
-		// Unmap the batch's training pages to keep the address space lean.
+		// Unmap the batch's training pages to keep the address space
+		// lean — in sorted order, so page-table and TLB state evolves
+		// identically for a given seed regardless of map iteration.
+		pages := make([]uint64, 0, len(mapped))
 		for page := range mapped {
+			pages = append(pages, page)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, page := range pages {
 			m.UserAS.Unmap(page, mem.PageSize)
 		}
 	}

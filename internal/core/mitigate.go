@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"phantom/internal/kernel"
@@ -148,13 +149,27 @@ func waitForDecodeOverhead(p *uarch.Profile, seed int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return overheadPct(off, on), nil
+}
+
+// overheadPct reduces per-workload timings to the geometric-mean
+// slowdown percentage. Workloads are reduced in sorted name order:
+// float multiplication rounds differently under reassociation, so map
+// iteration order would let the same measurements print different
+// digits run to run.
+func overheadPct(off, on map[string]float64) float64 {
+	names := make([]string, 0, len(off))
+	for name := range off {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var ratios []float64
-	for name, base := range off {
-		if base > 0 {
+	for _, name := range names {
+		if base := off[name]; base > 0 {
 			ratios = append(ratios, on[name]/base)
 		}
 	}
-	return (stats.GeoMean(ratios) - 1) * 100, nil
+	return (stats.GeoMean(ratios) - 1) * 100
 }
 
 // SuppressOverhead measures the SuppressBPOnNonBr performance cost: each
@@ -196,13 +211,7 @@ func SuppressOverhead(p *uarch.Profile, seed int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var ratios []float64
-	for name, base := range off {
-		if base > 0 {
-			ratios = append(ratios, on[name]/base)
-		}
-	}
-	return (stats.GeoMean(ratios) - 1) * 100, nil
+	return overheadPct(off, on), nil
 }
 
 // crossPrivReach injects a user prediction at the kernel getpid nop site

@@ -55,6 +55,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 	// The flight context deliberately descends from Background, not
 	// ctx: the evaluation outlives any individual waiter and dies only
 	// via its own cancel (last waiter gone) or fn's internal deadline.
+	//phantomvet:ignore ctxflow deliberate detach: the flight's lifetime is its waiter refcount, not any single caller
 	execCtx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
 	g.flights[key] = f

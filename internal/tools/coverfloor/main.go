@@ -65,11 +65,16 @@ func main() {
 			fmt.Printf("  %-32s %6.1f%%  (floor %.1f%%)\n", pkg, pct, floor)
 		}
 	}
+	missing := make([]string, 0, len(floors))
 	for pkg := range floors {
 		if _, ok := cov[pkg]; !ok {
-			fmt.Printf("  %-32s    --    floor %.1f%% but absent from profile\n", pkg, floors[pkg])
-			failed++
+			missing = append(missing, pkg)
 		}
+	}
+	sort.Strings(missing)
+	for _, pkg := range missing {
+		fmt.Printf("  %-32s    --    floor %.1f%% but absent from profile\n", pkg, floors[pkg])
+		failed++
 	}
 	if failed > 0 {
 		fmt.Printf("coverfloor: %d package(s) under their coverage floor\n", failed)

@@ -64,11 +64,14 @@ func run() error {
 
 	cliBin := filepath.Join(dir, "phantom")
 	serverBin := filepath.Join(dir, "phantom-server")
-	for bin, pkg := range map[string]string{cliBin: "./cmd/phantom", serverBin: "./cmd/phantom-server"} {
-		build := exec.Command("go", "build", "-o", bin, pkg)
+	for _, b := range []struct{ bin, pkg string }{
+		{cliBin, "./cmd/phantom"},
+		{serverBin, "./cmd/phantom-server"},
+	} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
 		build.Stderr = os.Stderr
 		if err := build.Run(); err != nil {
-			return fmt.Errorf("go build %s: %w", pkg, err)
+			return fmt.Errorf("go build %s: %w", b.pkg, err)
 		}
 	}
 
