@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve fuzz-decode
+.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve fuzz-decode search-smoke search-nightly
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,7 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs.
-check: vet phantom-vet staticcheck govulncheck build test race cover
+check: vet phantom-vet staticcheck govulncheck build test race cover search-smoke
 
 # Statement coverage with per-package floors (coverage.floors): fails
 # when any package regresses below its recorded seed-state coverage.
@@ -73,6 +73,22 @@ bench-sweep:
 # which CI persists across runs.
 fuzz-decode:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 30s ./internal/isa
+
+# A ~2s slice of the attack-variant search (differential fuzzing of the
+# speculation model): generates, diffs, classifies, and minimizes at a
+# small budget, so the whole generate→diff→classify→minimize pipeline
+# is exercised on every `make check`. The full-budget run with fixture
+# accumulation is the scheduled search-nightly job.
+search-smoke:
+	$(GO) run ./cmd/phantom search -seed 1 -budget 500 > /dev/null
+
+# The scheduled nightly search: the canonical budget at a date-derived
+# seed (so each night explores fresh programs), landing any minimized
+# findings under the accumulating findings cache. Exits non-zero if a
+# finding fails to minimize or a landed fixture's replay drifts.
+search-nightly:
+	$(GO) run ./cmd/phantom search -seed $$(date +%Y%m%d) -budget 20000 -fixtures nightly-findings
+	$(GO) test ./internal/search -run 'TestSearchCorpus' -count=1
 
 # End-to-end gate for the serving subsystem: builds the phantom and
 # phantom-server binaries, boots the server on an ephemeral port, and

@@ -19,6 +19,7 @@
 //	mitigations  SuppressBPOnNonBr / AutoIBRS / IBPB evaluation (Sections 6.3, 8)
 //	sls          straight-line speculation cell (Table 1, footnote c)
 //	chain        full Section 7 exploit chain on one boot
+//	search       differential fuzzing of the speculation model (minimized findings)
 //	all          everything above with default parameters
 //
 // Common flags: -arch, -seed, -runs, -jobs; see -h of each experiment.
@@ -213,6 +214,7 @@ var runners = map[string]func(context.Context, io.Writer, []string) error{
 	"covert": cmdCovert, "kaslr": cmdKASLR, "physmap": cmdPhysmap,
 	"physaddr": cmdPhysAddr, "mds": cmdMDS, "mitigations": cmdMitigations,
 	"sls": cmdSLS, "report": cmdReport, "chain": cmdChain, "all": cmdAll,
+	"search": cmdSearch,
 }
 
 func usage(w io.Writer) {
@@ -233,6 +235,7 @@ experiments:
   sls          straight-line speculation cell         (Table 1, footnote c)
   report       full paper-vs-measured Markdown report
   chain        full Section 7 exploit chain
+  search       differential fuzzing of the speculation model
   all          run everything with defaults
 
 serving: the same experiments are available over HTTP from the

@@ -111,6 +111,7 @@ func TestScopes(t *testing.T) {
 	}{
 		{Determinism, "phantom/internal/pipeline", "machine.go", true},
 		{Determinism, "phantom/internal/stats", "stats.go", true},
+		{Determinism, "phantom/internal/search", "generate.go", true},
 		{Determinism, "phantom", "experiments.go", true},
 		{Determinism, "phantom", "report.go", false},
 		{Determinism, "phantom/internal/telemetry", "hub.go", false},

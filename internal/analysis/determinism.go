@@ -34,7 +34,8 @@ func determinismScope(pkgPath, filename string) bool {
 	switch pkgPath {
 	case "phantom/internal/pipeline", "phantom/internal/btb", "phantom/internal/cache",
 		"phantom/internal/mem", "phantom/internal/uarch", "phantom/internal/isa",
-		"phantom/internal/kernel", "phantom/internal/core", "phantom/internal/stats":
+		"phantom/internal/kernel", "phantom/internal/core", "phantom/internal/stats",
+		"phantom/internal/search":
 		return true
 	case "phantom":
 		// The root package mixes experiment drivers (experiments.go,

@@ -235,3 +235,86 @@ func EncPop(reg int) []byte {
 	}
 	return []byte{0x58 + byte(reg)}
 }
+
+// EncodeInst re-encodes a decoded instruction into its canonical byte
+// form — the inverse of Decode for every instruction this package's
+// encoders emit. Decode tolerates some redundant encodings (e.g. a
+// REX prefix on a one-byte NOP) that the encoders never produce; when
+// the canonical re-encoding would not reproduce in.Len bytes, or the
+// instruction is OpInvalid, EncodeInst reports an error instead of
+// silently changing the byte stream. The round-trip property
+// encode→decode→re-encode == identity is pinned by TestEncodeDecodeRoundTrip
+// and exercised over generated programs by internal/search.
+func EncodeInst(in Inst) ([]byte, error) {
+	var b []byte
+	switch in.Op {
+	case OpNop:
+		if in.Len < 1 || in.Len > 5 {
+			return nil, fmt.Errorf("isa: no canonical %d-byte nop", in.Len)
+		}
+		b = EncNop(in.Len)
+	case OpJmp:
+		b = EncJmp(in.Disp)
+	case OpJcc:
+		b = EncJcc(in.Cond, in.Disp)
+	case OpCall:
+		b = EncCall(in.Disp)
+	case OpJmpInd:
+		b = EncJmpInd(in.Reg)
+	case OpCallInd:
+		b = EncCallInd(in.Reg)
+	case OpRet:
+		b = EncRet()
+	case OpMovImm:
+		b = EncMovImm(in.Reg, uint64(in.Imm))
+	case OpMovReg:
+		b = EncMovReg(in.Reg, in.Reg2)
+	case OpLoad:
+		b = EncLoad(in.Reg, in.Reg2, in.Disp)
+	case OpStore:
+		b = EncStore(in.Reg2, in.Disp, in.Reg)
+	case OpAluImm:
+		b = EncAluImm(in.Alu, in.Reg, int32(in.Imm))
+	case OpShiftImm:
+		if in.Alu == 4 {
+			b = EncShl(in.Reg, uint8(in.Imm))
+		} else {
+			b = EncShr(in.Reg, uint8(in.Imm))
+		}
+	case OpXorReg:
+		b = EncXorReg(in.Reg, in.Reg2)
+	case OpAddReg:
+		b = EncAddReg(in.Reg, in.Reg2)
+	case OpSubReg:
+		b = EncSubReg(in.Reg, in.Reg2)
+	case OpCmpReg:
+		b = EncCmpReg(in.Reg, in.Reg2)
+	case OpLfence:
+		b = EncLfence()
+	case OpMfence:
+		b = EncMfence()
+	case OpClflush:
+		b = EncClflush(in.Reg2, in.Disp)
+	case OpRdtsc:
+		b = EncRdtsc()
+	case OpSyscall:
+		b = EncSyscall()
+	case OpHlt:
+		b = EncHlt()
+	case OpInt3:
+		b = EncInt3()
+	case OpPush:
+		b = EncPush(in.Reg)
+	case OpPop:
+		b = EncPop(in.Reg)
+	default:
+		return nil, fmt.Errorf("isa: cannot encode %v", in.Op)
+	}
+	// Len 0 means the caller built the Inst by hand and has no length
+	// expectation; decoder-produced Insts always carry one.
+	if in.Len != 0 && len(b) != in.Len {
+		return nil, fmt.Errorf("isa: %v decoded from a non-canonical %d-byte encoding (canonical is %d)",
+			in.Op, in.Len, len(b))
+	}
+	return b, nil
+}

@@ -93,6 +93,16 @@ type Machine struct {
 	// tests flip this knob to prove it (see predecode.go).
 	DisablePredecode bool
 
+	// DisableSpeculation suppresses every wrong-path effect: speculation
+	// episodes, the decoupled fetcher's fall-through prefetch, and the
+	// I-cache fill of a rejected prediction's target. Predictor training,
+	// architectural execution, and resteer penalties are untouched, so a
+	// run with the flag set is the "mispredict-off" reference leg of a
+	// differential pair (internal/search): any divergence against a run
+	// with the flag clear is, by construction, an effect of transient
+	// execution.
+	DisableSpeculation bool
+
 	rng *rand.Rand
 
 	// pre caches decoded instructions per physical code line; fmemo

@@ -211,6 +211,9 @@ func (m *Machine) resteer(frontend bool) {
 // transientFetchLine models a single wrong-path line fetch (fall-through
 // prefetch by the decoupled fetcher).
 func (m *Machine) transientFetchLine(va uint64) {
+	if m.DisableSpeculation {
+		return
+	}
 	if pa, _, ok := m.AS().TranslateV(va, mem.AccessFetch, !m.Kernel); ok {
 		m.Hier.AccessFetch(pa)
 		m.Debug.TransientFetchLines++

@@ -182,6 +182,9 @@ func (m *Machine) stop(r RunResult) *RunResult {
 // was rejected by a mitigation. Only present+executable targets fill, as
 // with any instruction fetch.
 func (m *Machine) prefetchPredictedTarget(pred btb.Prediction, va uint64) {
+	if m.DisableSpeculation {
+		return
+	}
 	target := pred.Target
 	if pred.Class == isa.BrRet {
 		t, ok := m.RSB.Peek()

@@ -27,6 +27,9 @@ const (
 // wrong-path µops, which is what lets a disclosure gadget turn a
 // transiently loaded secret into a cache-set address (P3, Section 6.1).
 func (m *Machine) speculate(target uint64, win uarch.Window, kind specKind) {
+	if m.DisableSpeculation {
+		return
+	}
 	regs := m.Regs // transient copy; never written back
 	zf, cf := m.ZF, m.CF
 	pc := target

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A fixture is one minimized finding landed on disk: the program plus
+// the exact measurements the model produced for it, so the regression
+// suite can replay the program and pin the classified divergence
+// byte-exactly. Fixtures live under testdata/search/ at the repo root,
+// one JSON file per finding, named after the finding key.
+
+// Expect pins everything a replay must reproduce. The fields mirror
+// Finding minus the program itself, plus the per-leg cycle counts that
+// the dedup key deliberately leaves out — a fixture pins them because a
+// drift in either is a model change the nightly job must surface.
+type Expect struct {
+	Category  Category `json:"category"`
+	Key       string   `json:"key"`
+	Episodes  int      `json:"episodes"`
+	MaxFetch  int      `json:"maxFetch"`
+	MaxDecode int      `json:"maxDecode"`
+	MaxUops   int      `json:"maxUops"`
+	SpecLoads int      `json:"specLoads"`
+
+	CyclesOn     uint64 `json:"cyclesOn"`
+	CyclesOff    uint64 `json:"cyclesOff"`
+	PredDiverged bool   `json:"predDiverged"`
+	ArchDiverged bool   `json:"archDiverged"`
+}
+
+// Fixture is the on-disk unit: a program and what replaying it must
+// yield.
+type Fixture struct {
+	Program *Program `json:"program"`
+	Expect  Expect   `json:"expect"`
+}
+
+// NewFixture captures a finding (and the diff it came from) as a
+// fixture.
+func NewFixture(f *Finding, d *Diff) *Fixture {
+	return &Fixture{
+		Program: f.Program,
+		Expect: Expect{
+			Category:  f.Category,
+			Key:       f.Key(),
+			Episodes:  f.Episodes,
+			MaxFetch:  f.MaxFetch,
+			MaxDecode: f.MaxDecode,
+			MaxUops:   f.MaxUops,
+			SpecLoads: f.SpecLoads,
+
+			CyclesOn:     d.On.Cycles,
+			CyclesOff:    d.Off.Cycles,
+			PredDiverged: d.PredDiverged,
+			ArchDiverged: d.ArchDiverged,
+		},
+	}
+}
+
+// Replay re-runs the fixture's program through the differential
+// executor and returns what it measures today, in Expect form, plus
+// the raw diff for diagnostics.
+func (fx *Fixture) Replay() (*Expect, *Diff, error) {
+	d, err := RunDiff(fx.Program)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, f := range Classify(fx.Program, d) {
+		if f.Category != fx.Expect.Category {
+			continue
+		}
+		got := NewFixture(&f, d).Expect
+		return &got, d, nil
+	}
+	return nil, d, fmt.Errorf("search: replay of %s produced no %s finding",
+		fx.Expect.Key, fx.Expect.Category)
+}
+
+// FixtureName is the on-disk filename for a finding key:
+// "zen2/deep-window/jmp*/e2-f1-d2-u2-l0" →
+// "zen2-deep-window-jmp_star-e2-f1-d2-u2-l0.json".
+func FixtureName(key string) string {
+	r := strings.NewReplacer("/", "-", "*", "_star", " ", "_")
+	return r.Replace(key) + ".json"
+}
+
+// WriteFixture lands fx under dir (created if missing), returning the
+// path written.
+func WriteFixture(dir string, fx *Fixture) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	b, err := json.MarshalIndent(fx, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, FixtureName(fx.Expect.Key))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadFixtures reads every *.json under dir, sorted by filename so the
+// corpus iterates in a stable order. A missing directory is an empty
+// corpus, not an error.
+func LoadFixtures(dir string) (map[string]*Fixture, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]*Fixture, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var fx Fixture
+		if err := json.Unmarshal(b, &fx); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if fx.Program == nil {
+			return nil, fmt.Errorf("%s: fixture has no program", p)
+		}
+		out[filepath.Base(p)] = &fx
+	}
+	return out, nil
+}

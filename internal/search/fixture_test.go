@@ -1,0 +1,84 @@
+package search
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestFixtureName(t *testing.T) {
+	got := FixtureName("zen2/deep-window/jmp*/e1-f1-d1-u1-l0")
+	want := "zen2-deep-window-jmp_star-e1-f1-d1-u1-l0.json"
+	if got != want {
+		t.Errorf("FixtureName = %q, want %q", got, want)
+	}
+	if filepath.Base(got) != got {
+		t.Errorf("FixtureName %q is not a bare filename", got)
+	}
+}
+
+// TestFixtureWriteLoadReplay exercises the full fixture lifecycle: a
+// fresh finding lands on disk, loads back structurally identical, and
+// replays to exactly the Expect it pinned.
+func TestFixtureWriteLoadReplay(t *testing.T) {
+	p := findOne(t, "zen2", CatLeakChannel)
+	min, err := Minimize(p, CatLeakChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunDiff(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *Finding
+	for _, g := range Classify(min, d) {
+		if g.Category == CatLeakChannel {
+			g := g
+			f = &g
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("minimized program lost the leak-channel finding")
+	}
+
+	dir := t.TempDir()
+	fx := NewFixture(f, d)
+	path, err := WriteFixture(dir, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Errorf("fixture written to %s, want under %s", path, dir)
+	}
+
+	loaded, err := LoadFixtures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loaded[filepath.Base(path)]
+	if !ok {
+		t.Fatalf("LoadFixtures missed %s (have %v)", filepath.Base(path), len(loaded))
+	}
+	if !reflect.DeepEqual(got, fx) {
+		t.Errorf("fixture did not round-trip:\nwrote %+v\nread  %+v", fx, got)
+	}
+
+	replayed, _, err := got.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *replayed != got.Expect {
+		t.Errorf("replay drifted:\npinned %+v\ngot    %+v", got.Expect, *replayed)
+	}
+}
+
+func TestLoadFixturesMissingDir(t *testing.T) {
+	got, err := LoadFixtures(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("missing dir loaded %d fixtures", len(got))
+	}
+}
