@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke bench-serve fuzz-decode search-smoke search-nightly
+.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke cluster-smoke bench-serve bench-cluster fuzz-decode search-smoke search-nightly
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,7 @@ race:
 	$(GO) test -race ./...
 
 # The full gate: what CI runs.
-check: vet phantom-vet staticcheck govulncheck build test race cover search-smoke
+check: vet phantom-vet staticcheck govulncheck build test race cover search-smoke cluster-smoke
 
 # Statement coverage with per-package floors (coverage.floors): fails
 # when any package regresses below its recorded seed-state coverage.
@@ -97,6 +97,14 @@ search-nightly:
 serve-smoke:
 	$(GO) run ./internal/tools/servesmoke
 
+# End-to-end gate for the distributed tier: boots a 3-node fleet with a
+# static -peers ring and per-node durable stores, then checks the
+# deterministic keyspace split, fan-out byte-parity with the CLI,
+# single-hop proxying, dead-peer degradation with zero client errors,
+# and a warm-store restart that answers without re-simulating.
+cluster-smoke:
+	$(GO) run ./internal/tools/servesmoke -cluster
+
 # The serving headline numbers: cold miss vs content-addressed cache
 # hit vs 8-way coalesced, archived as a dated test2json log like the
 # other bench targets. The acceptance bar is warm >= 50x cold.
@@ -104,6 +112,16 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeTable1' -benchmem -json ./internal/service \
 		> BENCH_$$(date +%Y%m%d)_serve.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_$$(date +%Y%m%d)_serve.json || true
+
+# The distributed-tier numbers: durable-store put/get throughput and
+# the cost of a warm proxy hop vs a warm local hit, archived as a dated
+# test2json log like the other bench targets.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkStore(Put|Get)' -benchmem -json ./internal/store \
+		> BENCH_$$(date +%Y%m%d)_cluster.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServe(Local|Proxied)Warm' -benchmem -json ./internal/service \
+		>> BENCH_$$(date +%Y%m%d)_cluster.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_$$(date +%Y%m%d)_cluster.json || true
 
 # The telemetry no-perturbation overhead number (Table 1 with the hub
 # off vs on), archived as a dated JSON log like `make bench`. Runs the

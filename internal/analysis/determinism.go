@@ -26,7 +26,11 @@ var Determinism = &Analyzer{
 	Run:     runDeterminism,
 }
 
-// determinismScope: the packages that compute experiment results. The
+// determinismScope: the packages that compute experiment results, plus
+// the distributed-tier packages (store, cluster) whose recovery and
+// ownership decisions are designed to be clock- and randomness-free —
+// consistent-hash ownership is a pure function of the peer IDs, and
+// peer health is failure-count based rather than timeout based. The
 // harness layers around them (sweep, telemetry, service, cmd) read the
 // wall clock legitimately — for progress lines and latency metrics —
 // and are kept honest by the no-perturbation parity tests instead.
@@ -35,7 +39,7 @@ func determinismScope(pkgPath, filename string) bool {
 	case "phantom/internal/pipeline", "phantom/internal/btb", "phantom/internal/cache",
 		"phantom/internal/mem", "phantom/internal/uarch", "phantom/internal/isa",
 		"phantom/internal/kernel", "phantom/internal/core", "phantom/internal/stats",
-		"phantom/internal/search":
+		"phantom/internal/search", "phantom/internal/store", "phantom/internal/cluster":
 		return true
 	case "phantom":
 		// The root package mixes experiment drivers (experiments.go,

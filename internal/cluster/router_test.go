@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// newTestRouter builds a two-node router where the remote peer is the
+// given handler (or a dead address when handler is nil).
+func newTestRouter(t *testing.T, handler http.Handler) (*Router, Peer) {
+	t.Helper()
+	addr := "127.0.0.1:1" // reserved port: connections fail fast
+	if handler != nil {
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		u, err := url.Parse(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr = u.Host
+	}
+	peers := []Peer{{ID: "self", Addr: "127.0.0.1:0"}, {ID: "remote", Addr: addr}}
+	r, err := NewRouter(Config{Self: "self", Peers: peers, FailureThreshold: 2, RetryEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, peers[1]
+}
+
+// healthOf returns the Health row for one peer ID.
+func healthOf(t *testing.T, r *Router, id string) PeerHealth {
+	t.Helper()
+	for _, h := range r.Health() {
+		if h.ID == id {
+			return h
+		}
+	}
+	t.Fatalf("no health row for %s", id)
+	return PeerHealth{}
+}
+
+func TestForwardCarriesLoopGuard(t *testing.T) {
+	var gotHeader, gotBody string
+	r, remote := newTestRouter(t, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		gotHeader = req.Header.Get(ForwardedHeader)
+		b, _ := io.ReadAll(req.Body)
+		gotBody = string(b)
+		if req.URL.Path != experimentsPath {
+			t.Errorf("forward hit %s, want %s", req.URL.Path, experimentsPath)
+		}
+		w.Write([]byte(`{"id":"abc","output":"ok"}`))
+	}))
+	out, err := r.Forward(context.Background(), remote, []byte(`{"experiment":"table1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHeader != "self" {
+		t.Errorf("loop-guard header = %q, want the sender's node id", gotHeader)
+	}
+	if gotBody != `{"experiment":"table1"}` {
+		t.Errorf("forwarded body = %q", gotBody)
+	}
+	if !strings.Contains(string(out), `"output":"ok"`) {
+		t.Errorf("Forward returned %q", out)
+	}
+}
+
+func TestForwardFailureMarksPeerDownThenProbes(t *testing.T) {
+	r, remote := newTestRouter(t, nil) // dead address
+	ctx := context.Background()
+	// Below the threshold the peer is still worth trying.
+	if !r.ShouldTry(remote) {
+		t.Fatal("fresh peer reported not worth trying")
+	}
+	for i := 0; i < 2; i++ { // FailureThreshold = 2
+		if _, err := r.Forward(ctx, remote, []byte("{}")); err == nil {
+			t.Fatal("forward to dead peer succeeded")
+		}
+	}
+	if h := healthOf(t, r, "remote"); h.Healthy {
+		t.Fatalf("health after failures = %+v", h)
+	}
+	if h := healthOf(t, r, "self"); !h.Healthy || !h.Self {
+		t.Fatalf("self health row = %+v", h)
+	}
+	// Down peer: skipped except every RetryEvery-th (=4th) attempt.
+	var tried []bool
+	for i := 0; i < 8; i++ {
+		tried = append(tried, r.ShouldTry(remote))
+	}
+	want := []bool{false, false, false, true, false, false, false, true}
+	for i := range want {
+		if tried[i] != want[i] {
+			t.Fatalf("half-open cadence = %v, want %v", tried, want)
+		}
+	}
+}
+
+func TestForwardSuccessResetsHealth(t *testing.T) {
+	var fail bool
+	r, remote := newTestRouter(t, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if fail {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	ctx := context.Background()
+	fail = true
+	for i := 0; i < 2; i++ {
+		r.Forward(ctx, remote, nil) //nolint:errcheck // failures are the point
+	}
+	if healthOf(t, r, "remote").Healthy {
+		t.Fatal("peer healthy after threshold failures")
+	}
+	fail = false
+	if _, err := r.Forward(ctx, remote, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h := healthOf(t, r, "remote"); !h.Healthy || h.Failures != 0 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+// TestBackpressureIsNotFailure: 429/503 answers prove the peer is
+// alive; they must not push it toward down.
+func TestBackpressureIsNotFailure(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		r, remote := newTestRouter(t, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			w.WriteHeader(status)
+		}))
+		ctx := context.Background()
+		for i := 0; i < 5; i++ {
+			if _, err := r.Forward(ctx, remote, nil); err == nil {
+				t.Fatalf("status %d forward reported success", status)
+			}
+		}
+		if h := healthOf(t, r, "remote"); !h.Healthy || h.Failures != 0 {
+			t.Fatalf("status %d counted as failure: %+v", status, h)
+		}
+		if !r.ShouldTry(remote) {
+			t.Fatalf("status %d made peer unworthy of trying", status)
+		}
+	}
+}
+
+func TestRouterOwnerAndSolo(t *testing.T) {
+	peers := peersN(3)
+	r, err := NewRouter(Config{Self: "n2", Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solo() {
+		t.Error("3-node router reported solo")
+	}
+	if r.Self().ID != "n2" {
+		t.Errorf("Self = %+v", r.Self())
+	}
+	sawLocal, sawRemote := false, false
+	for _, k := range corpus(64) {
+		p, local := r.Owner(k)
+		if local != (p.ID == "n2") {
+			t.Fatalf("Owner(%s) local flag disagrees with peer %s", k, p.ID)
+		}
+		sawLocal = sawLocal || local
+		sawRemote = sawRemote || !local
+	}
+	if !sawLocal || !sawRemote {
+		t.Error("64-key corpus did not split between local and remote owners")
+	}
+
+	solo, err := NewRouter(Config{Self: "only", Peers: []Peer{{ID: "only", Addr: "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !solo.Solo() {
+		t.Error("single-peer router not solo")
+	}
+	if _, err := NewRouter(Config{Self: "ghost", Peers: peers}); err == nil {
+		t.Error("self outside peer list accepted")
+	}
+}

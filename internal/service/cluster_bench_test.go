@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// benchPost issues one POST and drains the response; any non-200 fails
+// the benchmark (a shed or error would make the timing meaningless).
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// benchCluster boots a 2-node stub cluster and returns the entry node's
+// URL plus one warm request body per ownership class: one key the entry
+// node owns (answered from its own cache) and one its peer owns
+// (answered via a proxy hop into the peer's cache). The pair isolates
+// the cost of the hop itself — same serving path, same payload size,
+// one extra loopback round trip.
+func benchCluster(b *testing.B) (url, localBody, proxiedBody string) {
+	nodes := newCluster(b, 2, false, nil)
+	avoid := map[int64]bool{}
+	localBody = fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seedOwnedBy(b, nodes[0].srv.rtr, "n1", avoid))
+	proxiedBody = fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seedOwnedBy(b, nodes[0].srv.rtr, "n2", avoid))
+	url = nodes[0].url()
+	benchPost(b, url, localBody)
+	benchPost(b, url, proxiedBody)
+	return url, localBody, proxiedBody
+}
+
+// BenchmarkServeLocalWarm is the baseline: a warm request POSTed to
+// its owner, answered from the in-memory cache with no cluster hop.
+func BenchmarkServeLocalWarm(b *testing.B) {
+	url, localBody, _ := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, url, localBody)
+	}
+}
+
+// BenchmarkServeProxiedWarm is the same request shape POSTed to the
+// non-owner: one consistent-hash lookup plus one loopback proxy hop to
+// the owner's cache. The delta against BenchmarkServeLocalWarm is the
+// price of shard routing.
+func BenchmarkServeProxiedWarm(b *testing.B) {
+	url, _, proxiedBody := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, url, proxiedBody)
+	}
+}

@@ -1,0 +1,514 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phantom/internal/cluster"
+	"phantom/internal/store"
+)
+
+// clusterNode is one in-process phantom-server node: the service
+// engine, its HTTP front end on a real loopback listener, and the stub
+// evaluation engine (nil when the node runs the real simulator).
+type clusterNode struct {
+	id   string
+	addr string
+	srv  *Server
+	hs   *http.Server
+	stub *stubExec
+}
+
+func (n *clusterNode) url() string { return "http://" + n.addr }
+
+// newCluster boots n in-process nodes sharing one static peer list.
+// Listeners are bound first so every node's ring is built from the
+// full, final address set — the same order of operations as n separate
+// phantom-server processes handed the same -peers flag. realExec nodes
+// render with the actual simulator; otherwise each node gets its own
+// stubExec so tests can see which node computed what.
+func newCluster(t testing.TB, n int, realExec bool, mutate func(i int, cfg *Config)) []*clusterNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		listeners[i] = ln
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i+1), Addr: ln.Addr().String()}
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		rtr, err := cluster.NewRouter(cluster.Config{
+			Self:  peers[i].ID,
+			Peers: peers,
+			// One failure marks a peer down and probes are effectively
+			// off, so dead-peer tests are deterministic.
+			FailureThreshold: 1,
+			RetryEvery:       1 << 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Workers: 2, QueueDepth: 16, Router: rtr}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		node := &clusterNode{id: peers[i].ID, addr: peers[i].Addr, srv: NewServer(cfg)}
+		if !realExec {
+			node.stub = &stubExec{}
+			node.srv.exec = node.stub.fn
+		}
+		node.hs = &http.Server{Handler: node.srv.Handler()}
+		go node.hs.Serve(listeners[i]) //nolint:errcheck // closed on cleanup
+		t.Cleanup(func() { node.hs.Close() })
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// seedOwnedBy scans seeds until the kaslr request for that seed hashes
+// to the wanted owner. Ownership is a pure function of (peer IDs, key),
+// so the result is stable across processes and runs.
+func seedOwnedBy(t testing.TB, r *cluster.Router, want string, avoid map[int64]bool) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 1<<16; seed++ {
+		if avoid[seed] {
+			continue
+		}
+		norm, err := Request{Experiment: "kaslr", Seed: seed}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p, _ := r.Owner(norm.Key()); p.ID == want {
+			avoid[seed] = true
+			return seed
+		}
+	}
+	t.Fatalf("no seed found whose key is owned by %s", want)
+	return 0
+}
+
+// TestClusterProxyToOwner pins the shard-routing contract: a request
+// POSTed to a non-owner is computed by its owner exactly once, the
+// reply is marked Proxied, and repeats keep hitting the owner's cache
+// — the receiving node's cache and simulator stay cold.
+func TestClusterProxyToOwner(t *testing.T) {
+	nodes := newCluster(t, 3, false, nil)
+	seed := seedOwnedBy(t, nodes[0].srv.rtr, "n3", map[int64]bool{})
+	body := fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed)
+
+	resp, data := postJSON(t, nodes[0].url(), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proxied {
+		t.Error("result from non-owner not marked proxied")
+	}
+	if res.Cached || res.Output == "" {
+		t.Errorf("first proxied result: cached=%v output=%q", res.Cached, res.Output)
+	}
+	if got := nodes[2].stub.started.Load(); got != 1 {
+		t.Errorf("owner n3 ran %d evaluations, want 1", got)
+	}
+	if got := nodes[0].stub.started.Load(); got != 0 {
+		t.Errorf("non-owner n1 ran %d evaluations, want 0", got)
+	}
+	if got := nodes[0].srv.Stats().Proxied.Load(); got != 1 {
+		t.Errorf("n1 Proxied = %d, want 1", got)
+	}
+
+	// Second POST of the same request to the same non-owner: still
+	// proxied (proxied results are not cached locally — each node's
+	// memory holds only its own shard), answered from the owner's cache.
+	resp, data = postJSON(t, nodes[0].url(), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp.StatusCode)
+	}
+	var res2 Result
+	if err := json.Unmarshal(data, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Proxied || !res2.Cached {
+		t.Errorf("repeat: proxied=%v cached=%v, want both", res2.Proxied, res2.Cached)
+	}
+	if res2.Output != res.Output || res2.ID != res.ID {
+		t.Error("repeat diverged from first answer")
+	}
+	if got := nodes[2].stub.started.Load(); got != 1 {
+		t.Errorf("owner re-simulated: %d evaluations", got)
+	}
+	if got := nodes[0].srv.Stats().CacheHits.Load(); got != 0 {
+		t.Errorf("non-owner cached a proxied result: %d hits", got)
+	}
+}
+
+// TestClusterLoopGuard: a request carrying the forwarded header is
+// answered locally even by a non-owner, so a proxy hop can never chain
+// into a second hop or a cycle.
+func TestClusterLoopGuard(t *testing.T) {
+	nodes := newCluster(t, 3, false, nil)
+	seed := seedOwnedBy(t, nodes[0].srv.rtr, "n3", map[int64]bool{})
+	body := fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed)
+
+	req, err := http.NewRequest(http.MethodPost, nodes[0].url()+"/v1/experiments", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "n9")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if res.Proxied {
+		t.Error("forwarded request was proxied again")
+	}
+	if got := nodes[0].stub.started.Load(); got != 1 {
+		t.Errorf("forwarded request ran %d local evaluations on the receiver, want 1", got)
+	}
+	if got := nodes[2].stub.started.Load(); got != 0 {
+		t.Errorf("true owner n3 ran %d evaluations, want 0", got)
+	}
+}
+
+// TestClusterFanout: a separable multi-arch request decomposes into
+// per-arch sub-requests, each computed by the node owning its key, and
+// each node runs exactly its share — asserted against independently
+// computed ownership, not just totals.
+func TestClusterFanout(t *testing.T) {
+	nodes := newCluster(t, 3, false, nil)
+	norm, err := Request{Experiment: "mitigations"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected per-node evaluation counts and assembled output, from
+	// the ring alone.
+	wantRuns := map[string]int64{}
+	var wantOut bytes.Buffer
+	for _, arch := range norm.Archs {
+		sub := norm
+		sub.Archs = []string{arch}
+		owner, _ := nodes[0].srv.rtr.Owner(sub.Key())
+		wantRuns[owner.ID]++
+		fmt.Fprintf(&wantOut, "%s output archs=%v seed=%d\n", sub.Experiment, sub.Archs, sub.Seed)
+	}
+
+	resp, data := postJSON(t, nodes[0].url(), `{"experiment":"mitigations"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Fanout != len(norm.Archs) {
+		t.Errorf("Fanout = %d, want %d", res.Fanout, len(norm.Archs))
+	}
+	if res.Output != wantOut.String() {
+		t.Errorf("assembled output:\n%q\nwant per-arch concatenation:\n%q", res.Output, wantOut.String())
+	}
+	for i, node := range nodes {
+		if got := node.stub.started.Load(); got != wantRuns[node.id] {
+			t.Errorf("node %s ran %d evaluations, ring says %d", nodes[i].id, got, wantRuns[node.id])
+		}
+	}
+	if got := nodes[0].srv.Stats().FanoutJobs.Load(); got != uint64(len(norm.Archs)) {
+		t.Errorf("FanoutJobs = %d, want %d", got, len(norm.Archs))
+	}
+}
+
+// TestClusterFanoutParity: with the real simulator, the assembled
+// fan-out answer is byte-identical to rendering the whole request in
+// one process — the property that makes distribution invisible to
+// clients.
+func TestClusterFanoutParity(t *testing.T) {
+	nodes := newCluster(t, 3, true, nil)
+	norm, err := Request{Experiment: "mitigations"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := Execute(context.Background(), &want, norm, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postJSON(t, nodes[0].url(), `{"experiment":"mitigations"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.String() {
+		t.Errorf("fan-out output diverged from single-process render:\ngot  %q\nwant %q", res.Output, want.String())
+	}
+	if res.Fanout != len(norm.Archs) {
+		t.Errorf("Fanout = %d, want %d", res.Fanout, len(norm.Archs))
+	}
+}
+
+// TestClusterDeadPeerDegradesLocally: a request owned by a dead peer
+// is computed locally and still answers 200 — degradation costs
+// duplicate simulation, never a client error. After the failure marks
+// the peer down, later requests skip the connection attempt entirely.
+func TestClusterDeadPeerDegradesLocally(t *testing.T) {
+	nodes := newCluster(t, 3, false, nil)
+	// Kill n3 the way a crash would: stop accepting.
+	nodes[2].hs.Close()
+
+	avoid := map[int64]bool{}
+	seed := seedOwnedBy(t, nodes[0].srv.rtr, "n3", avoid)
+	resp, data := postJSON(t, nodes[0].url(), fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dead-owner request: status %d: %s", resp.StatusCode, data)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Proxied || res.Output == "" {
+		t.Errorf("degraded result: proxied=%v output=%q", res.Proxied, res.Output)
+	}
+	st := nodes[0].srv.Stats()
+	if st.ProxyFailures.Load() != 1 || st.DegradedLocal.Load() != 1 {
+		t.Errorf("ProxyFailures=%d DegradedLocal=%d, want 1/1", st.ProxyFailures.Load(), st.DegradedLocal.Load())
+	}
+	if got := nodes[0].stub.started.Load(); got != 1 {
+		t.Errorf("receiver ran %d evaluations, want 1", got)
+	}
+
+	// FailureThreshold=1: n3 is now down, so the next n3-owned request
+	// computes locally without even dialing (no new ProxyFailures).
+	seed2 := seedOwnedBy(t, nodes[0].srv.rtr, "n3", avoid)
+	resp, _ = postJSON(t, nodes[0].url(), fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second dead-owner request: status %d", resp.StatusCode)
+	}
+	if st.ProxyFailures.Load() != 1 {
+		t.Errorf("down peer was dialed again: ProxyFailures=%d", st.ProxyFailures.Load())
+	}
+	if st.DegradedLocal.Load() != 2 {
+		t.Errorf("DegradedLocal=%d, want 2", st.DegradedLocal.Load())
+	}
+}
+
+// TestClusterReadyzReportsPeers: /readyz carries the node identity and
+// per-peer health so operators (and the smoke harness) can see the
+// cluster view of each node.
+func TestClusterReadyzReportsPeers(t *testing.T) {
+	nodes := newCluster(t, 3, false, nil)
+	resp, err := http.Get(nodes[1].url() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string               `json:"status"`
+		Node   string               `json:"node"`
+		Peers  []cluster.PeerHealth `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.Node != "n2" {
+		t.Errorf("readyz = %+v", body)
+	}
+	if len(body.Peers) != 3 {
+		t.Fatalf("readyz listed %d peers, want 3", len(body.Peers))
+	}
+	for _, p := range body.Peers {
+		if !p.Healthy {
+			t.Errorf("fresh peer %s reported unhealthy", p.ID)
+		}
+		if p.Self != (p.ID == "n2") {
+			t.Errorf("peer %s self flag = %v", p.ID, p.Self)
+		}
+	}
+}
+
+// TestStoreReadBeforeCompute is the restart-persistence contract at
+// the service layer: results written through to the store survive a
+// full server teardown, and a fresh server with a cold cache answers
+// from the store without a simulation, byte-identically.
+func TestStoreReadBeforeCompute(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub1 := &stubExec{}
+	s1 := newTestServer(Config{Workers: 2, Store: st1}, stub1)
+	res1, aerr := s1.do(context.Background(), Request{Experiment: "kaslr", Seed: 42})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if got := s1.Stats().StoreFills.Load(); got != 1 {
+		t.Errorf("StoreFills = %d, want 1", got)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": new store handle on the same dir, new server, cold
+	// cache, a stub that fails the test if it ever runs.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	stub2 := &stubExec{}
+	s2 := newTestServer(Config{Workers: 2, Store: st2}, stub2)
+	res2, aerr := s2.do(context.Background(), Request{Experiment: "kaslr", Seed: 42})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if stub2.started.Load() != 0 {
+		t.Errorf("restarted server re-simulated a stored result")
+	}
+	if got := s2.Stats().StoreHits.Load(); got != 1 {
+		t.Errorf("StoreHits = %d, want 1", got)
+	}
+	if !res2.Cached {
+		t.Error("store-served result not marked cached")
+	}
+	if res2.Output != res1.Output || res2.ID != res1.ID {
+		t.Errorf("store round-trip diverged: %q vs %q", res2.Output, res1.Output)
+	}
+	if s2.Stats().Simulations.Load() != 0 {
+		t.Error("restarted server counted a simulation")
+	}
+
+	// The store hit promoted the result into the memory cache: a repeat
+	// is a cache hit, not a second disk read.
+	if _, aerr := s2.do(context.Background(), Request{Experiment: "kaslr", Seed: 42}); aerr != nil {
+		t.Fatal(aerr)
+	}
+	if got := s2.Stats().CacheHits.Load(); got != 1 {
+		t.Errorf("repeat after store hit: CacheHits = %d, want 1", got)
+	}
+	if got := s2.Stats().StoreHits.Load(); got != 1 {
+		t.Errorf("repeat read the store again: StoreHits = %d", got)
+	}
+}
+
+// TestStoreCorruptValueIsAMiss: a stored record that passes its CRC
+// but does not decode as a Result (schema drift) falls back to
+// recomputation instead of failing the request.
+func TestStoreCorruptValueIsAMiss(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	norm, err := Request{Experiment: "kaslr", Seed: 7}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(norm.Key(), []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	stub := &stubExec{}
+	s := newTestServer(Config{Workers: 2, Store: st}, stub)
+	res, aerr := s.do(context.Background(), Request{Experiment: "kaslr", Seed: 7})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if res.Cached || stub.started.Load() != 1 {
+		t.Errorf("undecodable store value: cached=%v evals=%d, want recompute", res.Cached, stub.started.Load())
+	}
+	if got := s.Stats().StoreHits.Load(); got != 0 {
+		t.Errorf("StoreHits = %d, want 0", got)
+	}
+}
+
+// TestAcquireInternalBypassesShedding: fan-out sub-jobs and forwarded
+// requests block for a worker slot instead of being shed — an 8-arch
+// fan-out on a Workers=1,QueueDepth=0 node must still finish.
+func TestAcquireInternalBypassesShedding(t *testing.T) {
+	sched := newScheduler(1, 0)
+	// Fill the only slot + the zero-length queue via the edge path.
+	rel, err := sched.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.acquire(context.Background()); err == nil {
+		t.Fatal("second edge acquire admitted past a full queue")
+	}
+	// Internal admission queues instead of shedding.
+	done := make(chan func(), 1)
+	go func() {
+		r, err := sched.acquireInternal(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- r
+	}()
+	select {
+	case <-done:
+		t.Fatal("internal acquire succeeded while the slot was held")
+	default:
+	}
+	rel()
+	waitFor(t, "internal acquire after release", func() bool {
+		select {
+		case r := <-done:
+			r()
+			return true
+		default:
+			return false
+		}
+	})
+	// Internal admission also ignores draining: in-flight cluster work
+	// must finish during a drain, not error.
+	sched.StartDrain()
+	r, err := sched.acquireInternal(context.Background())
+	if err != nil {
+		t.Fatalf("internal acquire during drain: %v", err)
+	}
+	r()
+}
+
+// TestStoreOpenFailureSurfaces ensures a second Open of a locked dir
+// keeps failing loudly at the service-config level rather than two
+// servers silently sharing segments. (The store's own tests pin the
+// flock; this pins that the service layer does not swallow it.)
+func TestStoreOpenFailureSurfaces(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := store.Open(dir, store.Options{}); err == nil {
+		t.Fatal("second Open of a locked store dir succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lock")); err != nil {
+		t.Errorf("lock file missing: %v", err)
+	}
+}

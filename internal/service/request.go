@@ -92,22 +92,28 @@ type experimentDef struct {
 	// timeoutWeight scales the server's per-experiment deadline (see
 	// Config.BaseTimeout): heavier experiments get proportionally more.
 	timeoutWeight int
+	// separable marks experiments whose Execute path renders each arch
+	// independently with identical options, so a multi-arch request is
+	// byte-identical to its per-arch sub-requests concatenated in
+	// canonical order. The cluster tier fans these out across peers;
+	// anything else routes as one unit.
+	separable bool
 }
 
 // experiments is the catalog of servable experiments. Defaults mirror
 // the CLI flag defaults exactly; the parity tests depend on that.
 var experiments = map[string]experimentDef{
-	"table1":      {defaultArchs: archAll, defaultSeed: 1, trials: true, noise: true, timeoutWeight: 2},
+	"table1":      {defaultArchs: archAll, defaultSeed: 1, trials: true, noise: true, timeoutWeight: 2, separable: true},
 	"fig6":        {defaultArchs: []string{"zen2", "zen4"}, defaultSeed: 1, timeoutWeight: 1},
 	"fig7":        {defaultArchs: []string{"zen3"}, defaultSeed: 9, defaultSamples: 22, timeoutWeight: 4},
 	"covert":      {defaultArchs: archAMD, defaultSeed: 1, defaultRuns: 10, defaultBits: 4096, timeoutWeight: 3},
 	"kaslr":       {defaultArchs: []string{"zen2", "zen3", "zen4"}, defaultSeed: 1, defaultRuns: 20, timeoutWeight: 3},
 	"physmap":     {defaultArchs: []string{"zen1", "zen2"}, defaultSeed: 1, defaultRuns: 10, timeoutWeight: 3},
 	"physaddr":    {defaultSeed: 1, defaultRuns: 20, timeoutWeight: 4},
-	"mds":         {defaultArchs: []string{"zen2"}, defaultSeed: 1, defaultRuns: 10, defaultBytes: 4096, timeoutWeight: 4},
-	"mitigations": {defaultArchs: archAMD, defaultSeed: 1, timeoutWeight: 2},
+	"mds":         {defaultArchs: []string{"zen2"}, defaultSeed: 1, defaultRuns: 10, defaultBytes: 4096, timeoutWeight: 4, separable: true},
+	"mitigations": {defaultArchs: archAMD, defaultSeed: 1, timeoutWeight: 2, separable: true},
 	"sls":         {defaultArchs: archAll, defaultSeed: 1, timeoutWeight: 2},
-	"chain":       {defaultArchs: []string{"zen2"}, defaultSeed: 1, timeoutWeight: 3},
+	"chain":       {defaultArchs: []string{"zen2"}, defaultSeed: 1, timeoutWeight: 3, separable: true},
 	"report":      {defaultSeed: 1, defaultRuns: 10, defaultBits: 1024, timeoutWeight: 10},
 }
 

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// segPath returns the single segment file of a freshly filled store
+// dir (fails if compaction or rotation left more than one).
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments = %v (err %v), want exactly 1", names, err)
+	}
+	return names[0]
+}
+
+// encodeRecord builds the on-disk bytes for one record, the same
+// layout Put writes: [crc][plen][keyLen|key|value].
+func encodeRecord(key string, val []byte) []byte {
+	plen := 2 + len(key) + len(val)
+	buf := make([]byte, recHdrSize+plen)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(plen))
+	binary.LittleEndian.PutUint16(buf[8:10], uint16(len(key)))
+	copy(buf[10:], key)
+	copy(buf[10+len(key):], val)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[recHdrSize:]))
+	return buf
+}
+
+// TestOpenOnFilePathFails: the store dir colliding with an existing
+// regular file is a loud configuration error, not a silent fallback.
+func TestOpenOnFilePathFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open on a file path succeeded")
+	}
+}
+
+// TestForeignSegmentReclaimed: a seg-*.log whose header is not ours
+// (wrong magic) is reclaimed as empty rather than trusted — its bytes
+// were never written by this format, so scanning them would be noise.
+func TestForeignSegmentReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"),
+		bytes.Repeat([]byte("garbage!"), 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.Records != 0 || st.TornTruncated != 1 {
+		t.Fatalf("stats after foreign segment = %+v", st)
+	}
+	// The reclaimed segment must be appendable again.
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Get after reclaim = %q, %v", got, ok)
+	}
+}
+
+// TestShortSegmentRestamped: a segment shorter than its own header is
+// a torn header write; a zero-length file is just a crash before any
+// write. Both recover to an empty, usable segment — only the former
+// counts as torn.
+func TestShortSegmentRestamped(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		size     int
+		wantTorn uint64
+	}{
+		{"seven-bytes", 7, 1},
+		{"zero-bytes", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"),
+				bytes.Repeat([]byte{0xAB}, tc.size), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := mustOpen(t, dir, Options{})
+			st := s.Stats()
+			if st.Records != 0 || st.TornTruncated != tc.wantTorn {
+				t.Fatalf("stats = %+v, want 0 records, torn=%d", st, tc.wantTorn)
+			}
+			if err := s.Put("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStraySegmentNamesIgnored: files matching the glob but not the
+// strict seg-<id>.log pattern (or with id 0) are not scanned; they
+// belong to no valid segment sequence.
+func TestStraySegmentNamesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"seg-abc.log", "seg-0.log"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.Records != 0 || st.TornTruncated != 0 || st.Segments != 1 {
+		t.Fatalf("stats with stray files = %+v", st)
+	}
+}
+
+// TestBadFramingTruncatesTail: a record header whose length field is
+// nonsense (plen < 2 cannot even hold a key length) ends the scan
+// there — everything after an unframeable point is unreachable.
+func TestBadFramingTruncatesTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	fill(t, s, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(t, dir)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite record 1's plen with 1 (< 2): framing breaks there.
+	var plen [4]byte
+	binary.LittleEndian.PutUint32(plen[:], 1)
+	if _, err := f.WriteAt(plen[:], headerSize+recSize+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Records != 1 || st.TornTruncated != 1 {
+		t.Fatalf("stats after framing break = %+v, want 1 record + 1 torn", st)
+	}
+	if _, ok := s2.Get("key-0000"); !ok {
+		t.Fatal("record before the framing break lost")
+	}
+	// The truncated tail is reusable.
+	if err := s2.Put("after", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("after"); !ok {
+		t.Fatal("Put after recovery not readable")
+	}
+}
+
+// TestValidCRCBadKeyLenSkipped: a record whose checksum passes but
+// whose key length runs past the payload is structurally corrupt; with
+// a valid record after it, the scan skips it and keeps going instead
+// of truncating.
+func TestValidCRCBadKeyLenSkipped(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-build the segment: header + bad record + good record.
+	bad := encodeRecord("xx", []byte("vv"))
+	// Corrupt the key length to exceed the payload, then re-checksum so
+	// only the key-length check can reject it.
+	binary.LittleEndian.PutUint16(bad[8:10], uint16(len(bad))) // klen > plen-2
+	binary.LittleEndian.PutUint32(bad[0:4], crc32.ChecksumIEEE(bad[recHdrSize:]))
+	good := encodeRecord("good-key", []byte("good-val"))
+
+	var file bytes.Buffer
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	file.Write(hdr[:])
+	file.Write(bad)
+	file.Write(good)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"), file.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.Records != 1 || st.CorruptSkipped != 1 || st.TornTruncated != 0 {
+		t.Fatalf("stats = %+v, want 1 record, 1 corrupt-skipped, 0 torn", st)
+	}
+	if got, ok := s.Get("good-key"); !ok || !bytes.Equal(got, []byte("good-val")) {
+		t.Fatalf("record after the corrupt one = %q, %v", got, ok)
+	}
+	if st.DeadBytes != int64(len(bad)) {
+		t.Errorf("DeadBytes = %d, want the skipped record's %d", st.DeadBytes, len(bad))
+	}
+}
+
+// TestDuplicateRecordNewerWins: a duplicate key in the log (a
+// put-after-crash replay, or compaction overlap) resolves to the newer
+// copy, with the older counted dead.
+func TestDuplicateRecordNewerWins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	fill(t, s, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(t, dir)
+	// Append a duplicate of key-0000 by hand, as a crashed writer that
+	// lost its index would have.
+	dup := encodeRecord("key-0000", valueFor("key-0000"))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(dup); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Records != 2 || st.DeadBytes != int64(len(dup)) {
+		t.Fatalf("stats after duplicate = %+v, want 2 records with one dead copy", st)
+	}
+	if got, ok := s2.Get("key-0000"); !ok || !bytes.Equal(got, valueFor("key-0000")) {
+		t.Fatalf("Get(key-0000) = %q, %v", got, ok)
+	}
+	// Compaction drops the dead copy; the survivor still reads.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.DeadBytes != 0 || st.Records != 2 {
+		t.Fatalf("stats after compaction = %+v", st)
+	}
+}
+
+// TestGetDetectsBitRot: corruption that lands after load (disk rot
+// under a live store) is caught by Get's checksum and served as a
+// counted miss, never as wrong bytes or an error.
+func TestGetDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	fill(t, s, 1)
+	// Flip a value byte behind the store's back via a second fd.
+	f, err := os.OpenFile(segPath(t, dir), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, headerSize+recSize-1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, ok := s.Get("key-0000"); ok {
+		t.Fatal("Get returned rotted bytes as a hit")
+	}
+	st := s.Stats()
+	if st.ReadErrors != 1 || st.Misses != 1 {
+		t.Fatalf("stats after bit rot = %+v, want 1 read error served as miss", st)
+	}
+}
+
+// TestSegmentRotationAndReopen: a small segment budget forces rotation
+// across many files; a reopen rebuilds the full index from all of
+// them, and compaction folds them back to one.
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 4 * recSize})
+	keys := fill(t, s, 20)
+	if st := s.Stats(); st.Segments < 4 {
+		t.Fatalf("%d records in %d segments, want rotation", st.Records, st.Segments)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{SegmentBytes: 4 * recSize})
+	for _, k := range keys {
+		if got, ok := s2.Get(k); !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("Get(%s) after multi-segment reopen = %q, %v", k, got, ok)
+		}
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Segments != 1 || st.Records != 20 {
+		t.Fatalf("stats after compaction = %+v", st)
+	}
+	for _, k := range keys {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("Get(%s) after compaction missed", k)
+		}
+	}
+}
+
+// TestKeyTooLongRejected: the key length must fit its uint16 frame.
+func TestKeyTooLongRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put(string(bytes.Repeat([]byte("k"), 1<<16)), []byte("v")); err == nil {
+		t.Fatal("65536-byte key accepted")
+	}
+}

@@ -1,0 +1,591 @@
+// Package store is the durable half of the serving tier: an
+// append-only, segmented on-disk result store keyed by request hash.
+//
+// The simulator is deterministic and the service cache is
+// content-addressed (the canonical SHA-256 of a normalized request), so
+// a result computed once is correct forever. The in-memory LRU loses
+// that work at every restart; this package keeps it. phantom-server
+// writes through to the store on every locally computed result and
+// reads from it before simulating on a cache miss, so a node restarted
+// with a warm -store-dir answers previously computed requests without
+// running the simulator at all.
+//
+// # On-disk format
+//
+// A store directory holds numbered segment files:
+//
+//	seg-00000001.log
+//	seg-00000002.log        <- active (appended to)
+//	lock                    <- flock'd while the store is open
+//
+// Each segment starts with a fixed 16-byte header:
+//
+//	offset  size  field
+//	0       8     magic "PHSTORE\x01"
+//	8       4     format version (little-endian uint32, currently 1)
+//	12      4     reserved (zero)
+//
+// followed by length-framed records:
+//
+//	offset  size  field
+//	0       4     CRC32 (IEEE) of the payload
+//	4       4     payload length (little-endian uint32)
+//	8       n     payload: keyLen uint16 | key | value
+//
+// Records are never updated in place — results are content-addressed,
+// so a key's value can never change — and never deleted in place;
+// space is reclaimed by compaction (below).
+//
+// # Recovery
+//
+// Open rebuilds the in-memory index by scanning every segment in id
+// order. A record whose framing runs past end-of-file is a torn tail
+// (the process died mid-append): the segment is truncated back to the
+// last intact record and the write path continues from there. A record
+// whose framing is intact but whose CRC does not match is skipped and
+// counted (Stats.CorruptSkipped); its bytes are treated as dead. Both
+// cases are recoveries, not errors — the store holds recomputable
+// results, so losing a tail record costs one future simulation, never
+// correctness.
+//
+// # Budget and compaction
+//
+// Options.Budget bounds total on-disk bytes. When an append pushes the
+// store past the budget, the oldest live records are evicted (the
+// index is insertion-ordered, so eviction is FIFO) until the live set
+// fits comfortably, and the surviving records are rewritten in order
+// into a single fresh segment which atomically replaces the old files
+// (write to a temp file, fsync, rename, then unlink the old segments).
+// A crash anywhere during compaction is safe: the temp file is ignored
+// by Open, and the window where old and new segments coexist only
+// yields duplicate records, which the scan dedupes.
+//
+// All methods are safe for concurrent use. The package reads no wall
+// clock and iterates no map in any order-sensitive path, so it sits in
+// phantom-vet's determinism scope alongside the simulation packages.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+const (
+	headerSize = 16
+	recHdrSize = 8 // CRC32 + payload length
+	version    = 1
+	// maxPayload is a sanity bound on the scanned payload length: a
+	// frame claiming more than this is treated as torn, not allocated.
+	maxPayload = 1 << 30
+)
+
+var magic = [8]byte{'P', 'H', 'S', 'T', 'O', 'R', 'E', 1}
+
+// Options tunes a Store. The zero value of every field means its
+// documented default.
+type Options struct {
+	// SegmentBytes is the rotation target for the active segment;
+	// 0 = 8 MiB. Compaction may produce one larger segment — the
+	// target bounds the append path, not the rewrite.
+	SegmentBytes int64
+	// Budget bounds total on-disk bytes across all segments;
+	// <= 0 = unlimited. A single record larger than the budget is not
+	// stored at all (Stats.Oversize) rather than evicting everything
+	// for one entry.
+	Budget int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	// Records and the byte gauges describe the current state.
+	Records    int
+	Segments   int
+	LiveBytes  int64 // record bytes reachable through the index
+	DeadBytes  int64 // record bytes awaiting compaction
+	TotalBytes int64 // everything on disk, headers included
+
+	// Cumulative counters since Open.
+	Hits           uint64
+	Misses         uint64
+	Fills          uint64 // records appended
+	DupFills       uint64 // Puts of an already-present key (no-ops)
+	Evictions      uint64 // live records dropped by the budget
+	Compactions    uint64
+	Oversize       uint64 // Puts larger than the whole budget, dropped
+	CorruptSkipped uint64 // CRC-mismatched records skipped at scan
+	TornTruncated  uint64 // segments truncated at a torn tail
+	ReadErrors     uint64 // Get-time read or CRC failures (served as misses)
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64 // bytes written, i.e. the append offset
+}
+
+// entry locates one live record.
+type entry struct {
+	key  string
+	seg  *segment
+	off  int64 // payload offset (after the record header)
+	plen uint32
+	crc  uint32
+}
+
+// recordSize is the on-disk footprint of an entry.
+func (e *entry) recordSize() int64 { return recHdrSize + int64(e.plen) }
+
+// Store is the on-disk result store. Construct with Open.
+type Store struct {
+	dir  string
+	opts Options
+	lock *os.File
+
+	mu    sync.RWMutex
+	segs  []*segment
+	index map[string]*list.Element
+	order *list.List // front = oldest insertion; Values are *entry
+	live  int64
+	dead  int64
+	total int64
+
+	hits, misses, readErrors                          atomic.Uint64
+	fills, dupFills, evictions, compactions, oversize uint64
+	corruptSkipped, tornTruncated                     uint64
+}
+
+// Open opens (creating if needed) the store rooted at dir, rebuilding
+// the index from the segments on disk. The directory is flock'd for
+// the lifetime of the store; a second Open of the same directory fails
+// rather than interleaving appends.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		lock:  lock,
+		index: make(map[string]*list.Element),
+		order: list.New(),
+	}
+	if err := s.load(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load scans the segment files in id order, recovering torn tails and
+// skipping corrupt records, then ensures there is an active segment.
+func (s *Store) load() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "seg-*.log"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type idName struct {
+		id   int
+		name string
+	}
+	var files []idName
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &id); err == nil && id > 0 {
+			files = append(files, idName{id, name})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].id < files[j].id })
+	for _, fn := range files {
+		f, err := os.OpenFile(fn.name, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		seg := &segment{id: fn.id, path: fn.name, f: f}
+		if err := s.scanSegment(seg); err != nil {
+			f.Close()
+			return err
+		}
+		s.segs = append(s.segs, seg)
+		s.total += seg.size
+	}
+	if len(s.segs) == 0 {
+		if _, err := s.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment rebuilds index entries from one segment, truncating a
+// torn tail and skipping (but framing past) corrupt records.
+func (s *Store) scanSegment(seg *segment) error {
+	fi, err := seg.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	truncate := func(at int64) error {
+		if err := seg.f.Truncate(at); err != nil {
+			return fmt.Errorf("store: recovering %s: %w", seg.path, err)
+		}
+		s.tornTruncated++
+		seg.size = at
+		return nil
+	}
+	var hdr [headerSize]byte
+	if size < headerSize {
+		// Too short to even hold a header: re-stamp it empty.
+		if err := writeHeader(seg.f); err != nil {
+			return err
+		}
+		if size != 0 {
+			s.tornTruncated++
+		}
+		seg.size = headerSize
+		return nil
+	}
+	if _, err := seg.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic || binary.LittleEndian.Uint32(hdr[8:12]) != version {
+		// The header is written once at creation; a mismatch means the
+		// file is not ours (or is garbage). Reclaim it.
+		if err := seg.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: recovering %s: %w", seg.path, err)
+		}
+		if err := writeHeader(seg.f); err != nil {
+			return err
+		}
+		s.tornTruncated++
+		seg.size = headerSize
+		return nil
+	}
+
+	off := int64(headerSize)
+	var rh [recHdrSize]byte
+	for off < size {
+		if off+recHdrSize > size {
+			return truncate(off)
+		}
+		if _, err := seg.f.ReadAt(rh[:], off); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		crc := binary.LittleEndian.Uint32(rh[0:4])
+		plen := binary.LittleEndian.Uint32(rh[4:8])
+		if plen < 2 || plen > maxPayload || off+recHdrSize+int64(plen) > size {
+			return truncate(off)
+		}
+		payload := make([]byte, plen)
+		if _, err := seg.f.ReadAt(payload, off+recHdrSize); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		next := off + recHdrSize + int64(plen)
+		klen := int(binary.LittleEndian.Uint16(payload[0:2]))
+		if crc32.ChecksumIEEE(payload) != crc || 2+klen > int(plen) {
+			if next == size {
+				// A corrupt final record is a torn write, not rot:
+				// truncate so the append path reuses the space.
+				return truncate(off)
+			}
+			s.corruptSkipped++
+			s.dead += recHdrSize + int64(plen)
+			off = next
+			continue
+		}
+		key := string(payload[2 : 2+klen])
+		e := &entry{key: key, seg: seg, off: off + recHdrSize, plen: plen, crc: crc}
+		if old, ok := s.index[key]; ok {
+			// A duplicate (put-after-crash or compaction overlap): the
+			// newer copy wins; both are identical by content address.
+			oldE := old.Value.(*entry)
+			s.live -= oldE.recordSize()
+			s.dead += oldE.recordSize()
+			old.Value = e
+			s.order.MoveToBack(old)
+		} else {
+			s.index[key] = s.order.PushBack(e)
+		}
+		s.live += e.recordSize()
+		off = next
+	}
+	seg.size = size
+	return nil
+}
+
+func writeHeader(f *os.File) error {
+	var hdr [headerSize]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], version)
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// rotate opens a fresh active segment. Caller holds mu (or is Open).
+func (s *Store) rotate() (*segment, error) {
+	id := 1
+	if n := len(s.segs); n > 0 {
+		id = s.segs[n-1].id + 1
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := writeHeader(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	seg := &segment{id: id, path: path, f: f, size: headerSize}
+	s.segs = append(s.segs, seg)
+	s.total += headerSize
+	return seg, nil
+}
+
+// Get returns the stored value for key. A read or CRC failure is
+// served as a miss (and counted in Stats.ReadErrors): the caller can
+// always recompute, so the store never turns disk rot into an error.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	el, ok := s.index[key]
+	if !ok {
+		s.mu.RUnlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	payload := make([]byte, e.plen)
+	_, err := e.seg.f.ReadAt(payload, e.off)
+	s.mu.RUnlock()
+	if err != nil || crc32.ChecksumIEEE(payload) != e.crc {
+		s.readErrors.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	klen := int(binary.LittleEndian.Uint16(payload[0:2]))
+	s.hits.Add(1)
+	return payload[2+klen:], true
+}
+
+// Has reports whether key is present without reading its value.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Put appends one record. Re-putting a present key is a counted no-op:
+// the store is content-addressed, so the value cannot differ.
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) > 1<<16-1 {
+		return fmt.Errorf("store: key longer than 65535 bytes")
+	}
+	plen := 2 + len(key) + len(val)
+	if plen > maxPayload {
+		return fmt.Errorf("store: record payload exceeds %d bytes", maxPayload)
+	}
+	recSize := int64(recHdrSize + plen)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		s.dupFills++
+		return nil
+	}
+	if s.opts.Budget > 0 && recSize+headerSize > s.opts.Budget {
+		s.oversize++
+		return nil
+	}
+	active := s.segs[len(s.segs)-1]
+	if active.size+recSize > s.opts.SegmentBytes && active.size > headerSize {
+		var err error
+		if active, err = s.rotate(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, recSize)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(plen))
+	binary.LittleEndian.PutUint16(buf[8:10], uint16(len(key)))
+	copy(buf[10:], key)
+	copy(buf[10+len(key):], val)
+	crc := crc32.ChecksumIEEE(buf[recHdrSize:])
+	binary.LittleEndian.PutUint32(buf[0:4], crc)
+	if _, err := active.f.WriteAt(buf, active.size); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	e := &entry{key: key, seg: active, off: active.size + recHdrSize, plen: uint32(plen), crc: crc}
+	active.size += recSize
+	s.total += recSize
+	s.live += recSize
+	s.index[key] = s.order.PushBack(e)
+	s.fills++
+	if s.opts.Budget > 0 && s.total > s.opts.Budget {
+		return s.shrink()
+	}
+	return nil
+}
+
+// shrink brings the store back under budget: evict the oldest live
+// records until the live set sits at three quarters of the budget
+// (headroom so appends do not re-trigger immediately), then compact.
+// Caller holds mu.
+func (s *Store) shrink() error {
+	target := s.opts.Budget * 3 / 4
+	for s.live > target && s.order.Len() > 1 {
+		el := s.order.Front()
+		e := el.Value.(*entry)
+		s.order.Remove(el)
+		delete(s.index, e.key)
+		s.live -= e.recordSize()
+		s.dead += e.recordSize()
+		s.evictions++
+	}
+	return s.compactLocked()
+}
+
+// Compact rewrites the live records into a single fresh segment and
+// removes the old files, reclaiming dead bytes. The store compacts
+// itself when it crosses the budget; this is for explicit callers
+// (tests, a future admin endpoint).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	newID := s.segs[len(s.segs)-1].id + 1
+	tmpPath := filepath.Join(s.dir, "compact.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	cleanup := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return e
+	}
+	if err := writeHeader(tmp); err != nil {
+		return cleanup(err)
+	}
+	// Rewrite live records in insertion order, so a post-compaction scan
+	// rebuilds the same FIFO eviction order.
+	off := int64(headerSize)
+	type placed struct {
+		el  *list.Element
+		off int64
+	}
+	var placements []placed
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		buf := make([]byte, e.recordSize())
+		if _, err := e.seg.f.ReadAt(buf[recHdrSize:], e.off); err != nil {
+			return cleanup(fmt.Errorf("store: compact read: %w", err))
+		}
+		binary.LittleEndian.PutUint32(buf[0:4], e.crc)
+		binary.LittleEndian.PutUint32(buf[4:8], e.plen)
+		if _, err := tmp.WriteAt(buf, off); err != nil {
+			return cleanup(fmt.Errorf("store: compact write: %w", err))
+		}
+		placements = append(placements, placed{el, off + recHdrSize})
+		off += e.recordSize()
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: %w", err))
+	}
+	newPath := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", newID))
+	if err := os.Rename(tmpPath, newPath); err != nil {
+		return cleanup(fmt.Errorf("store: %w", err))
+	}
+	newSeg := &segment{id: newID, path: newPath, f: tmp, size: off}
+	for _, p := range placements {
+		e := p.el.Value.(*entry)
+		e.seg = newSeg
+		e.off = p.off
+	}
+	for _, seg := range s.segs {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+	s.segs = []*segment{newSeg}
+	s.dead = 0
+	s.total = off
+	s.compactions++
+	return nil
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Records:        len(s.index),
+		Segments:       len(s.segs),
+		LiveBytes:      s.live,
+		DeadBytes:      s.dead,
+		TotalBytes:     s.total,
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Fills:          s.fills,
+		DupFills:       s.dupFills,
+		Evictions:      s.evictions,
+		Compactions:    s.compactions,
+		Oversize:       s.oversize,
+		CorruptSkipped: s.corruptSkipped,
+		TornTruncated:  s.tornTruncated,
+		ReadErrors:     s.readErrors.Load(),
+	}
+}
+
+// Close syncs and closes the segment files and releases the directory
+// lock. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, seg := range s.segs {
+		if err := seg.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.segs = nil
+	if s.lock != nil {
+		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN) //nolint:errcheck // closing anyway
+		if err := s.lock.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.lock = nil
+	}
+	return firstErr
+}

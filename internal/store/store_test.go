@@ -1,0 +1,334 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// fill writes n deterministic records and returns their keys. Record
+// payloads are a fixed 32 bytes so offset arithmetic in the corruption
+// tests stays simple.
+func fill(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+		if err := s.Put(keys[i], valueFor(keys[i])); err != nil {
+			t.Fatalf("Put(%s): %v", keys[i], err)
+		}
+	}
+	return keys
+}
+
+func valueFor(key string) []byte {
+	return bytes.Repeat([]byte(key[len(key)-2:]), 16) // 32 bytes
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// recSize is the on-disk footprint of one fill() record:
+// 8 header + 2 keyLen + 8 key + 32 value.
+const recSize = recHdrSize + 2 + 8 + 32
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	keys := fill(t, s, 10)
+	for _, k := range keys {
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+	if _, ok := s.Get("no-such-key"); ok {
+		t.Fatal("Get of absent key reported present")
+	}
+	st := s.Stats()
+	if st.Records != 10 || st.Fills != 10 || st.Hits != 10 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := fill(t, s, 25)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if got := s2.Stats().Records; got != 25 {
+		t.Fatalf("reopened store has %d records, want 25", got)
+	}
+	for _, k := range keys {
+		if got, ok := s2.Get(k); !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("after reopen Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+}
+
+// TestCrashSafetyTornTail is the crash model: the process dies with a
+// partially appended record. Reopening must recover every complete
+// record, drop the torn one, and leave the segment appendable.
+func TestCrashSafetyTornTail(t *testing.T) {
+	const n = 8
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := fill(t, s, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := filepath.Join(dir, "seg-00000001.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut 5 bytes off the final record: framing intact up to record
+	// n-1, record n unreadable.
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Records != n-1 {
+		t.Fatalf("recovered %d records, want %d", st.Records, n-1)
+	}
+	if st.TornTruncated != 1 {
+		t.Fatalf("TornTruncated = %d, want 1", st.TornTruncated)
+	}
+	if _, ok := s2.Get(keys[n-1]); ok {
+		t.Fatal("torn record still served")
+	}
+	for _, k := range keys[:n-1] {
+		if got, ok := s2.Get(k); !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("after recovery Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+	// The write path must continue cleanly from the truncation point.
+	if err := s2.Put("post-crash", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("post-crash"); !ok || string(got) != "fresh" {
+		t.Fatalf("post-recovery Put round-trip = %q, %v", got, ok)
+	}
+	// And the re-written record must itself survive a reopen.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	if got, ok := s3.Get("post-crash"); !ok || string(got) != "fresh" {
+		t.Fatalf("reopened post-recovery record = %q, %v", got, ok)
+	}
+}
+
+// TestCrashSafetyTornHeader covers dying before the record header
+// finished: fewer than 8 bytes of trailing garbage.
+func TestCrashSafetyTornHeader(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	fill(t, s, 3)
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-00000001.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe}) // 3 bytes: not even a frame
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Records != 3 || st.TornTruncated != 1 {
+		t.Fatalf("stats after torn header = %+v", st)
+	}
+}
+
+// TestCorruptRecordSkipped flips a payload byte in a mid-segment
+// record: framing is intact, so recovery must skip exactly that record
+// (counting it) and keep everything around it.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := fill(t, s, 5)
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-00000001.log")
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 2's payload starts at header + 2 records + its own header.
+	off := int64(headerSize + 2*recSize + recHdrSize)
+	if _, err := f.WriteAt([]byte{0xff}, off+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Records != 4 {
+		t.Fatalf("recovered %d records, want 4", st.Records)
+	}
+	if st.CorruptSkipped != 1 {
+		t.Fatalf("CorruptSkipped = %d, want 1", st.CorruptSkipped)
+	}
+	if st.TornTruncated != 0 {
+		t.Fatalf("TornTruncated = %d, want 0 (framing was intact)", st.TornTruncated)
+	}
+	if _, ok := s2.Get(keys[2]); ok {
+		t.Fatal("corrupt record still served")
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if got, ok := s2.Get(keys[i]); !ok || !bytes.Equal(got, valueFor(keys[i])) {
+			t.Fatalf("Get(%s) after corruption recovery = %q, %v", keys[i], got, ok)
+		}
+	}
+	if s2.Stats().DeadBytes != recSize {
+		t.Fatalf("DeadBytes = %d, want %d (the skipped record)", s2.Stats().DeadBytes, recSize)
+	}
+}
+
+func TestDuplicatePutIsNoop(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	total := s.Stats().TotalBytes
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.DupFills != 1 || st.Fills != 1 || st.TotalBytes != total {
+		t.Fatalf("duplicate put stats = %+v", st)
+	}
+}
+
+// TestBudgetEvictsOldestAndCompacts drives the store well past a small
+// budget and checks FIFO eviction plus disk reclamation.
+func TestBudgetEvictsOldestAndCompacts(t *testing.T) {
+	budget := int64(20 * recSize)
+	s := mustOpen(t, t.TempDir(), Options{Budget: budget, SegmentBytes: 4 * recSize})
+	keys := fill(t, s, 100)
+	st := s.Stats()
+	if st.TotalBytes > budget {
+		t.Fatalf("TotalBytes %d exceeds budget %d after puts", st.TotalBytes, budget)
+	}
+	if st.Evictions == 0 || st.Compactions == 0 {
+		t.Fatalf("expected evictions and compactions, got %+v", st)
+	}
+	// FIFO: the survivors are exactly the newest Records keys.
+	for _, k := range keys[:len(keys)-st.Records] {
+		if s.Has(k) {
+			t.Fatalf("old key %s survived eviction while newer ones exist", k)
+		}
+	}
+	for _, k := range keys[len(keys)-st.Records:] {
+		if got, ok := s.Get(k); !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("new key %s missing after compaction", k)
+		}
+	}
+}
+
+func TestOversizeRecordDropped(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Budget: 256})
+	if err := s.Put("big", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Oversize != 1 || st.Records != 0 {
+		t.Fatalf("oversize stats = %+v", st)
+	}
+}
+
+func TestExplicitCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 3 * recSize})
+	keys := fill(t, s, 10)
+	if segs := s.Stats().Segments; segs < 3 {
+		t.Fatalf("want several segments before compaction, got %d", segs)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.Compactions != 1 || st.DeadBytes != 0 {
+		t.Fatalf("post-compaction stats = %+v", st)
+	}
+	for _, k := range keys {
+		if got, ok := s.Get(k); !ok || !bytes.Equal(got, valueFor(k)) {
+			t.Fatalf("Get(%s) after compaction = %q, %v", k, got, ok)
+		}
+	}
+	// Compaction must leave a scannable store behind.
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	if got := s2.Stats().Records; got != 10 {
+		t.Fatalf("reopen after compaction: %d records, want 10", got)
+	}
+}
+
+func TestSecondOpenIsLockedOut(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a live store dir succeeded")
+	}
+}
+
+func TestCloseReleasesLock(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestConcurrentAccess exercises the RWMutex paths under -race.
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d-i%d", g, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); !ok || string(got) != key {
+					t.Errorf("Get(%s) = %q, %v", key, got, ok)
+					return
+				}
+				s.Get(fmt.Sprintf("g%d-i%d", (g+1)%8, i)) // racing cross-reads
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Stats().Records; got != 8*50 {
+		t.Fatalf("records = %d, want %d", got, 8*50)
+	}
+}

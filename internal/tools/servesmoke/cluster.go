@@ -1,0 +1,432 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"phantom/internal/cluster"
+	"phantom/internal/service"
+)
+
+// smokeNode is one phantom-server process in the cluster smoke.
+type smokeNode struct {
+	id       string
+	addr     string
+	base     string
+	storeDir string
+	addrFile string
+	cmd      *exec.Cmd
+}
+
+// start boots (or reboots) the node. The addr file is removed first so
+// awaiting it observes this boot, not a stale handshake.
+func (n *smokeNode) start(serverBin, peersSpec string) error {
+	os.Remove(n.addrFile)
+	n.cmd = exec.Command(serverBin,
+		"-addr", n.addr, "-addr-file", n.addrFile, "-workers", "2",
+		"-store-dir", n.storeDir, "-peers", peersSpec, "-node-id", n.id)
+	n.cmd.Stderr = os.Stderr
+	if err := n.cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", n.id, err)
+	}
+	if _, err := awaitAddr(n.addrFile, n.cmd); err != nil {
+		return fmt.Errorf("%s: %w", n.id, err)
+	}
+	return nil
+}
+
+// stop SIGTERMs the node and requires a clean drain (exit 0).
+func (n *smokeNode) stop() error {
+	if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM %s: %w", n.id, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- n.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s exited non-zero after SIGTERM: %w", n.id, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("%s did not exit within 30s of SIGTERM", n.id)
+	}
+}
+
+// runCluster drives the distributed-tier contract against a real
+// 3-node fleet. Every ownership assertion is computed from the same
+// ring the servers build (IDs are fixed; ports are not hashed), so the
+// checks are deterministic across runs and machines.
+func runCluster() error {
+	dir, err := os.MkdirTemp("", "clustersmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cliBin, serverBin, err := buildBinaries(dir)
+	if err != nil {
+		return err
+	}
+
+	// Reserve three loopback ports, then hand them to the processes.
+	nodes := make([]*smokeNode, 3)
+	peers := make([]cluster.Peer, 3)
+	peersSpec := ""
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		id := fmt.Sprintf("n%d", i+1)
+		nodes[i] = &smokeNode{
+			id:       id,
+			addr:     addr,
+			base:     "http://" + addr,
+			storeDir: filepath.Join(dir, "store-"+id),
+			addrFile: filepath.Join(dir, "addr-"+id),
+		}
+		peers[i] = cluster.Peer{ID: id, Addr: addr}
+		if i > 0 {
+			peersSpec += ","
+		}
+		peersSpec += id + "=" + addr
+	}
+	ring, err := cluster.NewRing(peers, 0)
+	if err != nil {
+		return err
+	}
+
+	stopped := make(map[string]bool)
+	defer func() {
+		for _, n := range nodes {
+			if !stopped[n.id] && n.cmd != nil && n.cmd.Process != nil {
+				n.cmd.Process.Kill()
+				n.cmd.Wait()
+			}
+		}
+	}()
+	for _, n := range nodes {
+		if err := n.start(serverBin, peersSpec); err != nil {
+			return err
+		}
+	}
+	fmt.Println("clustersmoke: 3 nodes up:", peersSpec)
+
+	if err := checkClusterReadyz(nodes); err != nil {
+		return err
+	}
+	if err := checkFanoutSplit(nodes, ring, cliBin); err != nil {
+		return err
+	}
+	proxyBody, proxyOut, err := checkProxyHop(nodes, ring)
+	if err != nil {
+		return err
+	}
+
+	// Kill n3 the hard way (no drain) and require the same bytes from a
+	// degraded local computation — a dead peer must cost duplicate work,
+	// never a client error.
+	if err := nodes[2].cmd.Process.Kill(); err != nil {
+		return err
+	}
+	nodes[2].cmd.Wait() //nolint:errcheck // killed; the exit status is the point
+	stopped["n3"] = true
+	if err := checkDeadPeerDegrades(nodes[0], proxyBody, proxyOut); err != nil {
+		return err
+	}
+
+	if err := checkRestartPersistence(nodes[0], ring, serverBin, peersSpec); err != nil {
+		return err
+	}
+
+	for _, n := range nodes[:2] {
+		if err := n.stop(); err != nil {
+			return err
+		}
+		stopped[n.id] = true
+	}
+	fmt.Println("clustersmoke: SIGTERM drain clean on surviving nodes")
+	return nil
+}
+
+// checkClusterReadyz: each node reports its own identity and a fully
+// healthy 3-peer view.
+func checkClusterReadyz(nodes []*smokeNode) error {
+	for _, n := range nodes {
+		status, body, err := get(n.base + "/readyz")
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("%s /readyz = %d: %s", n.id, status, body)
+		}
+		var ready struct {
+			Status string               `json:"status"`
+			Node   string               `json:"node"`
+			Peers  []cluster.PeerHealth `json:"peers"`
+		}
+		if err := json.Unmarshal(body, &ready); err != nil {
+			return fmt.Errorf("%s /readyz: %w", n.id, err)
+		}
+		if ready.Node != n.id || len(ready.Peers) != 3 {
+			return fmt.Errorf("%s /readyz = %+v, want node %s with 3 peers", n.id, ready, n.id)
+		}
+		for _, p := range ready.Peers {
+			if !p.Healthy {
+				return fmt.Errorf("%s reports peer %s unhealthy at boot", n.id, p.ID)
+			}
+		}
+	}
+	fmt.Println("clustersmoke: /readyz cluster view ok on all nodes")
+	return nil
+}
+
+// checkFanoutSplit POSTs a separable all-arch request to n1 and pins
+// three properties at once: the assembled output is byte-identical to
+// the CLI, the per-arch work lands exactly where the ring says it
+// should, and the split is a strict partition — every node simulates
+// some archs, no node simulates all of them.
+func checkFanoutSplit(nodes []*smokeNode, ring *cluster.Ring, cliBin string) error {
+	norm, err := service.Request{Experiment: "table1", Trials: 2}.Normalize()
+	if err != nil {
+		return err
+	}
+	want := map[string]uint64{}
+	for _, arch := range norm.Archs {
+		sub := norm
+		sub.Archs = []string{arch}
+		want[ring.Owner(sub.Key()).ID]++
+	}
+	total := uint64(len(norm.Archs))
+	for _, n := range nodes {
+		if w := want[n.id]; w == 0 || w == total {
+			return fmt.Errorf("ring does not strictly partition the smoke keys: %s owns %d of %d", n.id, w, total)
+		}
+	}
+
+	before := map[string]uint64{}
+	for _, n := range nodes {
+		if before[n.id], err = counterValue(n.base, "serve_simulations"); err != nil {
+			return err
+		}
+	}
+	status, body, err := post(nodes[0].base, `{"experiment":"table1","trials":2}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("fan-out POST = %d: %s", status, body)
+	}
+	var res struct {
+		Output string `json:"output"`
+		Fanout int    `json:"fanout"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		return err
+	}
+	if res.Fanout != len(norm.Archs) {
+		return fmt.Errorf("fanout = %d, want %d", res.Fanout, len(norm.Archs))
+	}
+
+	var cliOut bytes.Buffer
+	cli := exec.Command(cliBin, "table1", "-arch", "all", "-trials", "2")
+	cli.Stdout = &cliOut
+	cli.Stderr = os.Stderr
+	if err := cli.Run(); err != nil {
+		return fmt.Errorf("phantom table1: %w", err)
+	}
+	if res.Output != cliOut.String() {
+		return fmt.Errorf("fan-out output differs from CLI stdout\nserved: %q\ncli:    %q", res.Output, cliOut.String())
+	}
+
+	for _, n := range nodes {
+		after, err := counterValue(n.base, "serve_simulations")
+		if err != nil {
+			return err
+		}
+		if got := after - before[n.id]; got != want[n.id] {
+			return fmt.Errorf("%s simulated %d sub-jobs, ring says %d", n.id, got, want[n.id])
+		}
+	}
+	fmt.Printf("clustersmoke: fan-out byte-identical to CLI, split %v strict across nodes\n", want)
+	return nil
+}
+
+// seedWithOwner scans kaslr seeds for one whose key the ring assigns
+// to want, skipping seeds in avoid.
+func seedWithOwner(ring *cluster.Ring, want string, avoid map[int64]bool) (int64, service.Request, error) {
+	for seed := int64(1); seed < 1<<16; seed++ {
+		if avoid[seed] {
+			continue
+		}
+		norm, err := service.Request{Experiment: "kaslr", Seed: seed}.Normalize()
+		if err != nil {
+			return 0, service.Request{}, err
+		}
+		if ring.Owner(norm.Key()).ID == want {
+			avoid[seed] = true
+			return seed, norm, nil
+		}
+	}
+	return 0, service.Request{}, fmt.Errorf("no kaslr seed owned by %s", want)
+}
+
+var usedSeeds = map[int64]bool{}
+
+// checkProxyHop POSTs an n3-owned single request to n1 and verifies the
+// simulation ran on n3 with the reply marked proxied. Returns the body
+// and output for the dead-peer replay.
+func checkProxyHop(nodes []*smokeNode, ring *cluster.Ring) (string, string, error) {
+	seed, _, err := seedWithOwner(ring, "n3", usedSeeds)
+	if err != nil {
+		return "", "", err
+	}
+	body := fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed)
+	n1Before, err := counterValue(nodes[0].base, "serve_simulations")
+	if err != nil {
+		return "", "", err
+	}
+	n3Before, err := counterValue(nodes[2].base, "serve_simulations")
+	if err != nil {
+		return "", "", err
+	}
+	status, respBody, err := post(nodes[0].base, body)
+	if err != nil {
+		return "", "", err
+	}
+	if status != http.StatusOK {
+		return "", "", fmt.Errorf("proxy POST = %d: %s", status, respBody)
+	}
+	var res struct {
+		Output  string `json:"output"`
+		Proxied bool   `json:"proxied"`
+	}
+	if err := json.Unmarshal(respBody, &res); err != nil {
+		return "", "", err
+	}
+	if !res.Proxied || res.Output == "" {
+		return "", "", fmt.Errorf("n3-owned request via n1: proxied=%v output=%q", res.Proxied, res.Output)
+	}
+	n1After, err := counterValue(nodes[0].base, "serve_simulations")
+	if err != nil {
+		return "", "", err
+	}
+	n3After, err := counterValue(nodes[2].base, "serve_simulations")
+	if err != nil {
+		return "", "", err
+	}
+	if n1After != n1Before || n3After != n3Before+1 {
+		return "", "", fmt.Errorf("proxy hop simulated on the wrong node: n1 %d->%d, n3 %d->%d",
+			n1Before, n1After, n3Before, n3After)
+	}
+	fmt.Println("clustersmoke: single-hop proxy to owner ok")
+	return body, res.Output, nil
+}
+
+// checkDeadPeerDegrades replays a request whose owner was killed: the
+// receiving node must answer 200 with byte-identical output by
+// simulating locally, and count the degradation.
+func checkDeadPeerDegrades(n1 *smokeNode, body, wantOut string) error {
+	status, respBody, err := post(n1.base, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("dead-owner POST = %d: %s (degradation must not surface to clients)", status, respBody)
+	}
+	var res struct {
+		Output  string `json:"output"`
+		Proxied bool   `json:"proxied"`
+	}
+	if err := json.Unmarshal(respBody, &res); err != nil {
+		return err
+	}
+	if res.Proxied {
+		return fmt.Errorf("dead peer still answered the proxy")
+	}
+	if res.Output != wantOut {
+		return fmt.Errorf("degraded local answer diverged from the owner's answer")
+	}
+	degraded, err := counterValue(n1.base, "serve_degraded_local")
+	if err != nil {
+		return err
+	}
+	if degraded == 0 {
+		return fmt.Errorf("serve_degraded_local = 0 after a dead-owner request")
+	}
+	fmt.Println("clustersmoke: dead peer degraded to local compute, bytes identical, zero client errors")
+	return nil
+}
+
+// checkRestartPersistence computes an n1-owned request, drains and
+// restarts n1 on the same -store-dir, and requires the repeat to be
+// answered from the durable store: no simulation, byte-identical.
+func checkRestartPersistence(n1 *smokeNode, ring *cluster.Ring, serverBin, peersSpec string) error {
+	seed, _, err := seedWithOwner(ring, "n1", usedSeeds)
+	if err != nil {
+		return err
+	}
+	body := fmt.Sprintf(`{"experiment":"kaslr","seed":%d}`, seed)
+	status, respBody, err := post(n1.base, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("pre-restart POST = %d: %s", status, respBody)
+	}
+	var cold result
+	if err := json.Unmarshal(respBody, &cold); err != nil {
+		return err
+	}
+
+	if err := n1.stop(); err != nil {
+		return err
+	}
+	if err := n1.start(serverBin, peersSpec); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+
+	status, respBody, err = post(n1.base, body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("post-restart POST = %d: %s", status, respBody)
+	}
+	var warm result
+	if err := json.Unmarshal(respBody, &warm); err != nil {
+		return err
+	}
+	if !warm.Cached {
+		return fmt.Errorf("post-restart repeat not served as cached")
+	}
+	if warm.Output != cold.Output || warm.ID != cold.ID {
+		return fmt.Errorf("store round-trip across restart diverged")
+	}
+	sims, err := counterValue(n1.base, "serve_simulations")
+	if err != nil {
+		return err
+	}
+	if sims != 0 {
+		return fmt.Errorf("restarted node re-simulated %d times despite a warm store", sims)
+	}
+	hits, err := counterValue(n1.base, "serve_store_hits")
+	if err != nil {
+		return err
+	}
+	if hits != 1 {
+		return fmt.Errorf("serve_store_hits = %d after restart repeat, want 1", hits)
+	}
+	fmt.Println("clustersmoke: restart served from durable store, no re-simulation")
+	return nil
+}

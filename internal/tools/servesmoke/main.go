@@ -15,6 +15,13 @@
 //     (verified via the serve_simulations counter on /metrics).
 //  6. SIGTERM drains: the process exits 0.
 //
+// With -cluster it instead boots a 3-node phantom-server fleet (static
+// -peers ring, per-node -store-dir) and drives the distributed-tier
+// contract: deterministic keyspace split, fan-out output byte-identical
+// to the CLI, single-hop proxying, dead-peer degradation with zero
+// client errors, and warm-store restart without re-simulation. See
+// `make cluster-smoke`.
+//
 // It is a plain Go program (not a shell script) so the smoke test has
 // no dependency on curl/jq and runs identically in CI and locally.
 package main
@@ -22,6 +29,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -48,11 +56,35 @@ const (
 var smokeArgs = []string{"table1", "-arch", "zen2", "-trials", "2"}
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+	clusterMode := flag.Bool("cluster", false, "run the 3-node cluster smoke instead of the single-node one")
+	flag.Parse()
+	runFn, label := run, "servesmoke"
+	if *clusterMode {
+		runFn, label = runCluster, "clustersmoke"
+	}
+	if err := runFn(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: FAIL: %v\n", label, err)
 		os.Exit(1)
 	}
-	fmt.Println("servesmoke: PASS")
+	fmt.Println(label + ": PASS")
+}
+
+// buildBinaries compiles the phantom CLI and phantom-server into dir
+// and returns their paths.
+func buildBinaries(dir string) (cliBin, serverBin string, err error) {
+	cliBin = filepath.Join(dir, "phantom")
+	serverBin = filepath.Join(dir, "phantom-server")
+	for _, b := range []struct{ bin, pkg string }{
+		{cliBin, "./cmd/phantom"},
+		{serverBin, "./cmd/phantom-server"},
+	} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return "", "", fmt.Errorf("go build %s: %w", b.pkg, err)
+		}
+	}
+	return cliBin, serverBin, nil
 }
 
 func run() error {
@@ -62,17 +94,9 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 
-	cliBin := filepath.Join(dir, "phantom")
-	serverBin := filepath.Join(dir, "phantom-server")
-	for _, b := range []struct{ bin, pkg string }{
-		{cliBin, "./cmd/phantom"},
-		{serverBin, "./cmd/phantom-server"},
-	} {
-		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
-		build.Stderr = os.Stderr
-		if err := build.Run(); err != nil {
-			return fmt.Errorf("go build %s: %w", b.pkg, err)
-		}
+	cliBin, serverBin, err := buildBinaries(dir)
+	if err != nil {
+		return err
 	}
 
 	addrFile := filepath.Join(dir, "addr")
@@ -319,6 +343,12 @@ func checkCoalescing(base string) error {
 }
 
 func simulations(base string) (uint64, error) {
+	return counterValue(base, "serve_simulations")
+}
+
+// counterValue reads one counter from a node's /metrics snapshot; a
+// counter the server never touched reads as 0.
+func counterValue(base, name string) (uint64, error) {
 	status, body, err := get(base + "/metrics")
 	if err != nil {
 		return 0, err
@@ -332,7 +362,7 @@ func simulations(base string) (uint64, error) {
 	if err := json.Unmarshal(body, &snap); err != nil {
 		return 0, fmt.Errorf("/metrics: %w", err)
 	}
-	return snap.Counters["serve_simulations"], nil
+	return snap.Counters[name], nil
 }
 
 func get(url string) (int, []byte, error) {
