@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet phantom-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke cluster-smoke bench-serve bench-cluster fuzz-decode search-smoke search-nightly
+.PHONY: build test vet phantom-vet bench-vet staticcheck govulncheck race check cover bench bench-smoke bench-sweep bench-telemetry serve-smoke cluster-smoke bench-serve bench-cluster fuzz-decode search-smoke search-nightly
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,28 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own invariant analyzers (internal/analysis, driven by the
-# fifth binary): determinism, maporder, noperturb, ctxflow, faultalloc.
-# Exits 1 on any finding, so a stray time.Now or unsorted map range
-# fails the gate before a parity test has to bisect it.
+# fifth binary): determinism, maporder, noperturb, ctxflow, faultalloc,
+# lockcheck, errflow, goleak, hotalloc, unusedignore. Exits 1 on any
+# finding, so a stray time.Now or unsorted map range fails the gate
+# before a parity test has to bisect it.
+#
+# The driver's result cache makes the warm run near-instant on an
+# unchanged tree. The cache key hashes package contents and import
+# chains but not the analyzer code itself, so the cache directory name
+# embeds a checksum of internal/analysis + cmd/phantom-vet: editing an
+# analyzer lands in a fresh directory instead of reusing stale results.
+VET_CACHE_KEY := $(shell cat internal/analysis/*.go cmd/phantom-vet/*.go | cksum | cut -d' ' -f1)
 phantom-vet:
-	$(GO) run ./cmd/phantom-vet ./...
+	$(GO) run ./cmd/phantom-vet -v -cache-dir .phantom-vet-cache/$(VET_CACHE_KEY) ./...
+
+# The vet cache headline number: full-repo cold (empty cache) vs warm
+# (everything restored), archived as a dated test2json log like the
+# other bench targets. One iteration each — cold is seconds, and the
+# warm/cold ratio is the quantity of interest, not nanosecond jitter.
+bench-vet:
+	$(GO) test -run '^$$' -bench 'BenchmarkVetWholeRepo' -benchtime=1x -json ./cmd/phantom-vet \
+		> BENCH_$$(date +%Y%m%d)_vet.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_$$(date +%Y%m%d)_vet.json || true
 
 # Third-party gates, pinned to the versions CI installs. Local runs
 # skip them with a notice when the tool is not on PATH (the dev

@@ -8,11 +8,22 @@
 //
 // Usage:
 //
-//	phantom-vet [-run names] [-list] packages...
+//	phantom-vet [-run names] [-list] [-v] [-cache-dir dir] [-fixture] packages...
 //
 // Packages use `go list` pattern syntax (./..., phantom/internal/...,
 // or plain directories). -run restricts the suite to a comma-separated
 // subset of analyzers; -list describes every analyzer and exits.
+// -fixture treats each argument as a single fixture package directory
+// and runs the raw rules on it, ignoring Applies scopes — the CLI face
+// of the in-tree fixture harness, used by CI to pin seeded violations.
+//
+// -cache-dir enables the driver's on-disk result cache: packages whose
+// content (and whole import chain, and hot-set slice) is unchanged
+// since the last run are restored without being type-checked or
+// analyzed. The cache applies only to full-suite runs — a -run subset
+// always analyzes from scratch, so a cached full-suite result can
+// never be confused with a partial one. -v reports per-package cache
+// hits and per-analyzer wall time on stderr.
 //
 // Exit codes follow the convention shared by every phantom binary:
 // 0 on success (no findings), 1 on runtime errors or findings, 2 on
@@ -25,6 +36,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"phantom/internal/analysis"
 )
@@ -40,9 +52,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
 	run := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	fixture := fs.Bool("fixture", false, "treat arguments as fixture package directories and run the raw rules (ignores Applies scopes and the cache)")
+	verbose := fs.Bool("v", false, "report per-package timing and cache hits on stderr")
+	cacheDir := fs.String("cache-dir", "", "directory for the on-disk result cache (default: no cache)")
 	version := fs.Bool("V", false, "print version and exit (go vet -vettool handshake compatibility)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: phantom-vet [-run names] [-list] packages...\n")
+		fmt.Fprintf(stderr, "usage: phantom-vet [-run names] [-list] [-v] [-cache-dir dir] [-fixture] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -72,12 +87,29 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	pkgs, err := analysis.Load(fs.Args())
+	if *fixture {
+		// Fixture mode exercises the raw rules the way the test harness
+		// does: Applies scopes are ignored (testdata package paths never
+		// fall inside the real tree's scopes) and the cache stays out of
+		// the picture. CI uses this to pin each analyzer's seeded bad
+		// fixture to exit code 1.
+		return runFixtures(suite, fs.Args(), stdout, stderr)
+	}
+	opts := analysis.DriverOptions{CacheDir: *cacheDir}
+	if *run != "" && *cacheDir != "" {
+		// A -run subset must not populate (or consume) the cache: the
+		// stored diagnostics would reflect a partial suite.
+		opts.CacheDir = ""
+		fmt.Fprintln(stderr, "phantom-vet: -cache-dir ignored with -run (cache stores full-suite results only)")
+	}
+	diags, stats, err := analysis.RunDriver(suite, fs.Args(), opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "phantom-vet: %v\n", err)
 		return 1
 	}
-	diags := analysis.Run(suite, pkgs)
+	if *verbose {
+		printStats(stderr, stats)
+	}
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
@@ -86,6 +118,50 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runFixtures analyzes each directory as a single fixture package with
+// every selected analyzer's raw rule, exactly as the in-tree fixture
+// tests do. Diagnostics print to stdout; the exit code follows the
+// usual convention (0 clean, 1 findings or errors).
+func runFixtures(suite []*analysis.Analyzer, dirs []string, stdout, stderr io.Writer) int {
+	var total int
+	for _, dir := range dirs {
+		for _, a := range suite {
+			diags, _, err := analysis.AnalyzeDir(a, dir)
+			if err != nil {
+				fmt.Fprintf(stderr, "phantom-vet: %s: %v\n", dir, err)
+				return 1
+			}
+			for _, d := range diags {
+				fmt.Fprintln(stdout, d)
+			}
+			total += len(diags)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "phantom-vet: %d finding(s)\n", total)
+		return 1
+	}
+	return 0
+}
+
+// printStats renders the -v report: cache effectiveness, then the
+// per-package and per-analyzer wall-time breakdowns.
+func printStats(w io.Writer, stats *analysis.DriverStats) {
+	fmt.Fprintf(w, "phantom-vet: %d package(s), %d cache hit(s), %d analyzed, wall %v\n",
+		stats.Packages, stats.CacheHits, stats.CacheMisses, stats.Wall.Round(time.Millisecond))
+	for _, ps := range stats.PerPackage {
+		if ps.CacheHit {
+			fmt.Fprintf(w, "  %-40s cache hit\n", ps.Path)
+			continue
+		}
+		fmt.Fprintf(w, "  %-40s load %v, analyze %v\n", ps.Path,
+			ps.Load.Round(time.Millisecond), ps.Analyze.Round(time.Millisecond))
+	}
+	for _, as := range stats.PerAnalyzer {
+		fmt.Fprintf(w, "  analyzer %-12s %v\n", as.Name, as.Wall.Round(time.Millisecond))
+	}
 }
 
 // selectAnalyzers resolves a -run list against the suite. An empty

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -76,13 +78,96 @@ func TestRunSubset(t *testing.T) {
 	}
 }
 
+// TestVerboseCacheRoundTrip drives -v and -cache-dir together on a
+// stdlib-only package: the first run analyzes and reports timing, the
+// second is a cache hit — the behaviour `make phantom-vet` relies on
+// for warm-run speed.
+func TestVerboseCacheRoundTrip(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	var stderr bytes.Buffer
+	if code := realMain([]string{"-v", "-cache-dir", cacheDir, "phantom/internal/gf2"}, io.Discard, &stderr); code != 0 {
+		t.Fatalf("cold run: exit = %d\n%s", code, stderr.String())
+	}
+	cold := stderr.String()
+	for _, want := range []string{"1 package(s), 0 cache hit(s), 1 analyzed", "load ", "analyze ", "analyzer "} {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold -v report missing %q:\n%s", want, cold)
+		}
+	}
+	stderr.Reset()
+	if code := realMain([]string{"-v", "-cache-dir", cacheDir, "phantom/internal/gf2"}, io.Discard, &stderr); code != 0 {
+		t.Fatalf("warm run: exit = %d\n%s", code, stderr.String())
+	}
+	warm := stderr.String()
+	for _, want := range []string{"1 cache hit(s), 0 analyzed", "cache hit"} {
+		if !strings.Contains(warm, want) {
+			t.Errorf("warm -v report missing %q:\n%s", want, warm)
+		}
+	}
+}
+
+// TestRunSubsetBypassesCache pins that -run and -cache-dir do not
+// compose: the cache stores full-suite results only, and the CLI says
+// so instead of silently ignoring one flag.
+func TestRunSubsetBypassesCache(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	var stderr bytes.Buffer
+	if code := realMain([]string{"-run", "maporder", "-cache-dir", cacheDir, "phantom/internal/gf2"}, io.Discard, &stderr); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-cache-dir ignored with -run") {
+		t.Errorf("missing cache-bypass notice:\n%s", stderr.String())
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err == nil && len(entries) > 0 {
+		t.Errorf("-run populated the cache: %v", entries)
+	}
+}
+
+// TestFixtureMode pins the CLI face of the fixture harness: -fixture
+// runs the raw rule on a testdata package directory, ignoring Applies
+// scopes. lockcheck's scope excludes testdata paths, so without
+// -fixture its seeded bad fixture exits 0 — CI's per-analyzer
+// seeded-violation gate depends on -fixture seeing through that.
+func TestFixtureMode(t *testing.T) {
+	var stdout bytes.Buffer
+	code := realMain([]string{"-fixture", "-run", "lockcheck",
+		"../../internal/analysis/testdata/src/lockcheck/bad"}, &stdout, io.Discard)
+	if code != 1 {
+		t.Fatalf("bad fixture: exit = %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "(lockcheck)") {
+		t.Errorf("expected lockcheck findings:\n%s", stdout.String())
+	}
+
+	// The same analyzer through the scoped driver stays silent on the
+	// same directory — the contrast -fixture exists to resolve.
+	stdout.Reset()
+	code = realMain([]string{"-run", "lockcheck",
+		"../../internal/analysis/testdata/src/lockcheck/bad"}, &stdout, io.Discard)
+	if code != 0 || stdout.Len() != 0 {
+		t.Errorf("scoped run: exit = %d, findings %q; want 0 and none", code, stdout.String())
+	}
+
+	// ok fixtures stay clean, and a nonexistent directory is a runtime
+	// error (exit 1), not a silent pass.
+	if code := realMain([]string{"-fixture", "-run", "lockcheck",
+		"../../internal/analysis/testdata/src/lockcheck/ok"}, io.Discard, io.Discard); code != 0 {
+		t.Errorf("ok fixture: exit = %d, want 0", code)
+	}
+	if code := realMain([]string{"-fixture", "no/such/dir"}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("missing dir: exit = %d, want 1", code)
+	}
+}
+
 // TestListDescribesEveryAnalyzer keeps -list in sync with the suite.
 func TestListDescribesEveryAnalyzer(t *testing.T) {
 	var stdout bytes.Buffer
 	if code := realMain([]string{"-list"}, &stdout, io.Discard); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc"} {
+	for _, name := range []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc",
+		"lockcheck", "errflow", "goleak", "hotalloc", "unusedignore"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s", name)
 		}

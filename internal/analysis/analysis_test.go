@@ -10,7 +10,8 @@ import (
 )
 
 func TestSuiteNamesAndLookup(t *testing.T) {
-	want := []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc"}
+	want := []string{"determinism", "maporder", "noperturb", "ctxflow", "faultalloc",
+		"lockcheck", "errflow", "goleak", "hotalloc", "unusedignore"}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
@@ -68,7 +69,7 @@ func f() {
 	// a comment merely mentioning phantomvet suppresses nothing
 }
 `)
-	ig := ignoredLines(fset, files)
+	ds := parseDirectives(fset, files)
 	cases := []struct {
 		line int
 		name string
@@ -80,13 +81,48 @@ func f() {
 		{6, "determinism", true}, // directive covers the next line too
 		{6, "ctxflow", true},
 		{6, "maporder", false},
-		{8, "all", true},
+		{8, "maporder", true},  // "all" covers any analyzer
 		{9, "maporder", false}, // prose is not a directive
 	}
 	for _, c := range cases {
-		if got := ig[c.line][c.name]; got != c.want {
-			t.Errorf("line %d name %q: ignored=%v, want %v", c.line, c.name, got, c.want)
+		d := Diagnostic{Analyzer: c.name, Pos: token.Position{Filename: "p.go", Line: c.line}}
+		if got := ds.suppresses(d); got != c.want {
+			t.Errorf("line %d name %q: suppressed=%v, want %v", c.line, c.name, got, c.want)
 		}
+	}
+}
+
+// TestUnusedDirectives pins the dead-suppression report: a directive
+// whose analyzer ran and fired is silent, one whose analyzer ran clean
+// is reported, one naming an unknown analyzer is always reported, and
+// one whose analyzer was not part of the run is left alone.
+func TestUnusedDirectives(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 //phantomvet:ignore maporder fired below
+	_ = 2 //phantomvet:ignore determinism ran clean
+	_ = 3 //phantomvet:ignore nosuchvet typo
+	_ = 4 //phantomvet:ignore ctxflow not in this run
+}
+`)
+	ds := parseDirectives(fset, files)
+	// Simulate the run: maporder fired on line 4, determinism ran but
+	// found nothing, ctxflow did not run at all.
+	if !ds.suppresses(Diagnostic{Analyzer: "maporder", Pos: token.Position{Filename: "p.go", Line: 4}}) {
+		t.Fatalf("maporder directive did not suppress")
+	}
+	diags := ds.unusedDiags(map[string]bool{"maporder": true, "determinism": true})
+	var lines []int
+	for _, d := range diags {
+		if d.Analyzer != UnusedIgnore.Name {
+			t.Errorf("unused diag attributed to %q, want %q", d.Analyzer, UnusedIgnore.Name)
+		}
+		lines = append(lines, d.Pos.Line)
+	}
+	want := []int{5, 6} // dead determinism ignore + unknown name; 4 used, 7 not judged
+	if fmt.Sprint(lines) != fmt.Sprint(want) {
+		t.Errorf("unused directive lines = %v, want %v", lines, want)
 	}
 }
 

@@ -83,7 +83,21 @@ func AnalyzeDir(a *Analyzer, dir string) ([]Diagnostic, *token.FileSet, error) {
 		return nil, nil, fmt.Errorf("type checking: %v", err)
 	}
 	pkg := &Package{PkgPath: name, Fset: fset, Files: files, Types: tpkg, Info: info}
-	return runOne(a, pkg, false), fset, nil
+	if a == UnusedIgnore {
+		// The dead-suppression check is defined over a whole suite run:
+		// a directive is unused only if the analyzer it names ran and
+		// stayed silent. Its fixtures therefore run everything and
+		// report only the unusedignore findings.
+		all, _ := AnalyzePackage(Suite(), pkg, nil, nil, nil, nil)
+		var out []Diagnostic
+		for _, d := range all {
+			if d.Analyzer == UnusedIgnore.Name {
+				out = append(out, d)
+			}
+		}
+		return out, fset, nil
+	}
+	return runOne(a, pkg, false, nil, nil, newPackageFacts(), nil), fset, nil
 }
 
 // parseExpectations re-reads the fixture's comments for want

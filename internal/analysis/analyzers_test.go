@@ -37,6 +37,31 @@ func TestFaultAllocFixtures(t *testing.T) {
 	RunFixture(t, FaultAlloc, fixture("faultalloc", "ok"))
 }
 
+func TestLockCheckFixtures(t *testing.T) {
+	RunFixture(t, LockCheck, fixture("lockcheck", "bad"))
+	RunFixture(t, LockCheck, fixture("lockcheck", "ok"))
+}
+
+func TestErrFlowFixtures(t *testing.T) {
+	RunFixture(t, ErrFlow, fixture("errflow", "bad"))
+	RunFixture(t, ErrFlow, fixture("errflow", "ok"))
+}
+
+func TestGoLeakFixtures(t *testing.T) {
+	RunFixture(t, GoLeak, fixture("goleak", "bad"))
+	RunFixture(t, GoLeak, fixture("goleak", "ok"))
+}
+
+func TestHotAllocFixtures(t *testing.T) {
+	RunFixture(t, HotAlloc, fixture("hotalloc", "bad"))
+	RunFixture(t, HotAlloc, fixture("hotalloc", "ok"))
+}
+
+func TestUnusedIgnoreFixtures(t *testing.T) {
+	RunFixture(t, UnusedIgnore, fixture("unusedignore", "bad"))
+	RunFixture(t, UnusedIgnore, fixture("unusedignore", "ok"))
+}
+
 // TestCrossAnalyzerSilence pins that analyzers do not fire on each
 // other's fixtures where the invariants do not overlap: the
 // determinism fixtures never print, the noperturb fixtures never read

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds intraprocedural control-flow graphs over function
+// bodies. The original suite was purely syntactic — every rule was a
+// pattern on one AST node — which is exactly as strong as it sounds:
+// "Lock without Unlock" or "append discharged by a later sort" are
+// properties of *paths*, not of nodes. The CFG gives analyzers the
+// path structure (basic blocks, branch/loop edges, a single synthetic
+// exit, the function's defer list) and dataflow.go gives them a
+// forward worklist solver over it.
+//
+// The builder covers the statement forms the module actually uses:
+// if/else, for (all three clauses), range, switch/type switch/select
+// with fallthrough, labeled break/continue, goto, return, and defer.
+// Panics are treated as plain calls (the repo's invariant checkers
+// reason about orderly paths; a panic aborts the process and cannot
+// leak a lock anyone will ever contend on). Function literals are
+// deliberately *not* inlined: each gets its own CFG on demand, because
+// a closure's body runs at an unknowable time relative to its
+// enclosing function.
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is the block control enters first. Exit is the single
+	// synthetic exit: every return edge and the fall-off-the-end edge
+	// lead here, so "at function exit" is one dataflow point.
+	Entry *Block
+	Exit  *Block
+
+	// Blocks lists every block in creation order (Entry first). Some
+	// may be unreachable (code after a return keeps its block so
+	// positions stay reportable).
+	Blocks []*Block
+
+	// Defers collects every defer statement in the function, in
+	// lexical order. Deferred calls run at Exit; analyzers that model
+	// cleanup (lockcheck's deferred Unlock) consult this list rather
+	// than the blocks, because a defer fires on every path that
+	// reaches it regardless of how the function later exits.
+	Defers []*ast.DeferStmt
+
+	// after maps each loop statement (*ast.ForStmt / *ast.RangeStmt)
+	// to the block control resumes at once the loop exits normally —
+	// the "statements after the loop" entry point maporder's
+	// sort-discharge walks.
+	after map[ast.Stmt]*Block
+}
+
+// A Block is a maximal straight-line run of statements: control enters
+// at the first node and leaves at the end via Succs. Nodes holds
+// statements and, for branch heads, the condition or range expression
+// (an ast.Expr), in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// After returns the block control reaches when the given for/range
+// statement exits normally (or via an unlabeled break), or nil if s is
+// not a loop in this CFG.
+func (c *CFG) After(s ast.Stmt) *Block { return c.after[s] }
+
+// BlockOf returns the block whose Nodes contain n, or nil. Positions
+// are compared by identity, so n must be the exact node handed to the
+// builder (statements and branch-head expressions).
+func (c *CFG) BlockOf(n ast.Node) *Block {
+	for _, b := range c.Blocks {
+		for _, m := range b.Nodes {
+			if m == n {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// BuildCFG constructs the CFG for a function declaration or literal.
+// A nil or empty body yields a two-block graph (entry -> exit).
+func BuildCFG(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	b := &cfgBuilder{
+		cfg:    &CFG{after: make(map[ast.Stmt]*Block)},
+		labels: make(map[string]*labelInfo),
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmts(body.List)
+	}
+	b.edge(b.cur, b.cfg.Exit)
+	b.resolveGotos()
+	return b.cfg
+}
+
+// loopFrame is one entry of the enclosing-loop/switch stack: where an
+// unlabeled break and continue go from inside it.
+type loopFrame struct {
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select frames
+	label      string // non-empty if the loop/switch is labeled
+}
+
+// labelInfo tracks a label's goto target block (created on first
+// mention, forward references included).
+type labelInfo struct {
+	block *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	labels map[string]*labelInfo
+	gotos  []pendingGoto
+	// pendingLabel carries a label name into the next loop/switch
+	// statement so `L: for {...}` registers L as that loop's label.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock ends the current block and begins at next.
+func (b *cfgBuilder) startBlock(next *Block) { b.cur = next }
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a goto target and, if it labels a loop or
+		// switch, the name unlabeled-break frames resolve against.
+		li := b.labelTarget(s.Label.Name)
+		b.edge(b.cur, li.block)
+		b.startBlock(li.block)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(head, then)
+		b.startBlock(then)
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els)
+			b.startBlock(els)
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(head, after)
+		}
+		b.startBlock(after)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.cfg.after[s] = after
+		b.frames = append(b.frames, loopFrame{breakTo: after, continueTo: post, label: label})
+		b.startBlock(body)
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(after)
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s.X)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, after) // zero iterations
+		b.cfg.after[s] = after
+		b.frames = append(b.frames, loopFrame{breakTo: after, continueTo: head, label: label})
+		b.startBlock(body)
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.startBlock(after)
+
+	case *ast.SwitchStmt:
+		b.switchLike(label, []ast.Node{nodeOrNil(s.Init), exprOrNil(s.Tag)}, s.Body)
+	case *ast.TypeSwitchStmt:
+		// The assign (x := y.(type)) runs before any case; it lives in
+		// the head block so analyzers see it on every path.
+		b.switchLike(label, []ast.Node{nodeOrNil(s.Init), nodeOrNil(s.Assign)}, s.Body)
+	case *ast.SelectStmt:
+		b.switchLike(label, nil, s.Body)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startBlock(b.newBlock()) // anything after is unreachable
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.frameFor(s.Label); t != nil {
+				b.edge(b.cur, t.breakTo)
+			}
+			b.startBlock(b.newBlock())
+		case token.CONTINUE:
+			if t := b.frameFor(s.Label); t != nil && t.continueTo != nil {
+				b.edge(b.cur, t.continueTo)
+			}
+			b.startBlock(b.newBlock())
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.startBlock(b.newBlock())
+		case token.FALLTHROUGH:
+			// switchLike wires the fallthrough edge to the next case
+			// body; nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	default:
+		// Expression statements, assignments, declarations, go, send,
+		// inc/dec, empty: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func nodeOrNil(s ast.Stmt) ast.Node {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+func exprOrNil(e ast.Expr) ast.Node {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// switchLike builds the shared switch / type switch / select shape:
+// a head that branches to each clause body (plus after, when no
+// default clause makes the switch exhaustive), with fallthrough edges
+// between adjacent case bodies.
+func (b *cfgBuilder) switchLike(label string, headNodes []ast.Node, body *ast.BlockStmt) {
+	for _, n := range headNodes {
+		if n != nil {
+			b.cur.Nodes = append(b.cur.Nodes, n)
+		}
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{breakTo: after, label: label})
+
+	var clauseBlocks []*Block
+	var clauseStmts [][]ast.Stmt
+	hasDefault := false
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			blk := b.newBlock()
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseStmts = append(clauseStmts, cl.Body)
+		case *ast.CommClause:
+			blk := b.newBlock()
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cl.Comm)
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseStmts = append(clauseStmts, cl.Body)
+		}
+	}
+	for i, blk := range clauseBlocks {
+		b.edge(head, blk)
+		b.startBlock(blk)
+		b.stmts(clauseStmts[i])
+		if ft := endsInFallthrough(clauseStmts[i]); ft && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		// Without a default clause a switch can fall through to after
+		// directly. (A select without default blocks instead, but the
+		// skip edge is harmless there — it only weakens must-facts.)
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.startBlock(after)
+}
+
+func endsInFallthrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	br, ok := stmts[len(stmts)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// frameFor resolves a break/continue target: the innermost frame for
+// an unlabeled branch, the frame carrying the label otherwise.
+func (b *cfgBuilder) frameFor(label *ast.Ident) *loopFrame {
+	if len(b.frames) == 0 {
+		return nil
+	}
+	if label == nil {
+		return &b.frames[len(b.frames)-1]
+	}
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if b.frames[i].label == label.Name {
+			return &b.frames[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) labelTarget(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if li := b.labels[g.label]; li != nil {
+			b.edge(g.from, li.block)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncCFG parses `func f() { body }` and builds its CFG. The
+// builder is purely syntactic, so undeclared identifiers in the body
+// are fine — no type-checking happens here.
+func parseFuncCFG(t *testing.T, body string) (*ast.FuncDecl, *CFG) {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return fd, BuildCFG(fd)
+}
+
+// callBlock returns the block containing the call statement `name()`.
+func callBlock(t *testing.T, cfg *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains a call to %s", name)
+	return nil
+}
+
+// reachableBlocks walks Succs edges from Entry.
+func reachableBlocks(cfg *CFG) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	stack := []*Block{cfg.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	return seen
+}
+
+func hasSucc(b, target *Block) bool {
+	for _, s := range b.Succs {
+		if s == target {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGEmptyBody(t *testing.T) {
+	_, cfg := parseFuncCFG(t, "")
+	if len(cfg.Blocks) != 2 {
+		t.Fatalf("empty body: %d blocks, want 2 (entry, exit)", len(cfg.Blocks))
+	}
+	if !hasSucc(cfg.Entry, cfg.Exit) {
+		t.Error("empty body: entry does not reach exit")
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	if c {
+		a()
+	} else {
+		b()
+	}
+	d()`)
+	head := cfg.Entry
+	if len(head.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2", len(head.Succs))
+	}
+	join := callBlock(t, cfg, "d")
+	if !hasSucc(callBlock(t, cfg, "a"), join) || !hasSucc(callBlock(t, cfg, "b"), join) {
+		t.Error("then/else arms do not rejoin at the statement after the if")
+	}
+}
+
+func TestCFGIfWithoutElseSkips(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	if c {
+		a()
+	}
+	d()`)
+	if !hasSucc(cfg.Entry, callBlock(t, cfg, "d")) {
+		t.Error("if without else: head has no skip edge to the join block")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	fd, cfg := parseFuncCFG(t, `
+	for i := 0; cond; i++ {
+		body()
+	}
+	rest()`)
+	var loop *ast.ForStmt
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok {
+			loop = f
+		}
+		return true
+	})
+	after := cfg.After(loop)
+	if after == nil {
+		t.Fatal("After(for) is nil")
+	}
+	if after != callBlock(t, cfg, "rest") {
+		t.Error("After(for) is not the block holding the statement after the loop")
+	}
+	// The body must cycle back (through the post block) rather than
+	// fall through to after directly.
+	body := callBlock(t, cfg, "body")
+	if hasSucc(body, after) {
+		t.Error("loop body falls through to after without exiting via the head")
+	}
+}
+
+func TestCFGRangeZeroIterationEdge(t *testing.T) {
+	fd, cfg := parseFuncCFG(t, `
+	for k := range m {
+		body()
+	}
+	rest()`)
+	var loop *ast.RangeStmt
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			loop = r
+		}
+		return true
+	})
+	after := cfg.After(loop)
+	if after == nil {
+		t.Fatal("After(range) is nil")
+	}
+	// The head must have a direct edge to after: a range over an empty
+	// map runs zero iterations.
+	headHasSkip := false
+	for _, p := range after.Preds {
+		if hasSucc(p, callBlock(t, cfg, "body")) {
+			headHasSkip = true
+		}
+	}
+	if !headHasSkip {
+		t.Error("range head has no zero-iteration edge to after")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	d()`)
+	if !hasSucc(callBlock(t, cfg, "a"), callBlock(t, cfg, "b")) {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+	join := callBlock(t, cfg, "d")
+	if !hasSucc(callBlock(t, cfg, "b"), join) || !hasSucc(callBlock(t, cfg, "c"), join) {
+		t.Error("case bodies do not rejoin after the switch")
+	}
+	// With a default clause the switch is exhaustive: no head skip.
+	if hasSucc(cfg.Entry, join) {
+		t.Error("switch with default still has a head skip edge")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}
+	d()`)
+	join := callBlock(t, cfg, "d")
+	if !hasSucc(callBlock(t, cfg, "a"), join) || !hasSucc(callBlock(t, cfg, "b"), join) {
+		t.Error("select clauses do not rejoin")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	fd, cfg := parseFuncCFG(t, `
+L:
+	for {
+		for {
+			break L
+		}
+	}
+	done()`)
+	var outer *ast.ForStmt
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && outer == nil {
+			outer = f // first ForStmt encountered is the outer loop
+		}
+		return true
+	})
+	after := cfg.After(outer)
+	if after == nil {
+		t.Fatal("After(outer) is nil")
+	}
+	reach := reachableBlocks(cfg)
+	if !reach[callBlock(t, cfg, "done")] {
+		t.Error("break L does not make the code after the outer loop reachable")
+	}
+	_ = after
+}
+
+func TestCFGGotoAndUnreachable(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	goto L
+	skipped()
+L:
+	target()`)
+	reach := reachableBlocks(cfg)
+	if !reach[callBlock(t, cfg, "target")] {
+		t.Error("goto target unreachable")
+	}
+	if reach[callBlock(t, cfg, "skipped")] {
+		t.Error("statement after goto is reachable; it must be dead")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	a()
+	return
+	dead()`)
+	reach := reachableBlocks(cfg)
+	if reach[callBlock(t, cfg, "dead")] {
+		t.Error("code after return is reachable")
+	}
+	if !reach[cfg.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGDefersRecordedInOrder(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	defer first()
+	if c {
+		defer second()
+	}`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("%d defers recorded, want 2", len(cfg.Defers))
+	}
+	names := make([]string, 0, 2)
+	for _, d := range cfg.Defers {
+		names = append(names, d.Call.Fun.(*ast.Ident).Name)
+	}
+	if strings.Join(names, ",") != "first,second" {
+		t.Errorf("defer order = %v, want [first second]", names)
+	}
+}
+
+func TestCFGBlockOfMissesForeignNode(t *testing.T) {
+	fd, cfg := parseFuncCFG(t, "a()")
+	if cfg.BlockOf(fd) != nil {
+		t.Error("BlockOf of a node never handed to the builder must be nil")
+	}
+}
+
+// calledNames is the dataflow test harness: a must-analysis of "which
+// functions have certainly been called", with set intersection as the
+// join — the same lattice shape lockcheck and goleak use.
+func calledNamesSpec() FlowSpec[map[string]bool] {
+	clone := func(s map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(s))
+		for k := range s {
+			out[k] = true
+		}
+		return out
+	}
+	return FlowSpec[map[string]bool]{
+		Entry: map[string]bool{},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := make(map[string]bool)
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := clone(in)
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+func TestForwardDataflowMustIntersection(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	a()
+	if c {
+		b()
+	} else {
+		b()
+	}
+	join()
+	if c {
+		onlyThen()
+	}
+	end()`)
+	in := ForwardDataflow(cfg, calledNamesSpec())
+
+	atJoin := in[callBlock(t, cfg, "join")]
+	if !atJoin["a"] || !atJoin["b"] {
+		t.Errorf("at join: must-set %v, want a and b (called on every path)", atJoin)
+	}
+	atEnd := in[callBlock(t, cfg, "end")]
+	if atEnd["onlyThen"] {
+		t.Error("onlyThen is in the must-set after a one-armed if; intersection join is broken")
+	}
+	if !atEnd["b"] {
+		t.Error("b fell out of the must-set between join and end")
+	}
+}
+
+func TestForwardDataflowLoopFixpoint(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	pre()
+	for cond {
+		inLoop()
+	}
+	post()`)
+	in := ForwardDataflow(cfg, calledNamesSpec())
+	atPost := in[callBlock(t, cfg, "post")]
+	if !atPost["pre"] {
+		t.Error("pre not in must-set after the loop")
+	}
+	if atPost["inLoop"] {
+		t.Error("inLoop in must-set after the loop, but the loop may run zero times")
+	}
+}
+
+func TestForwardDataflowSkipsUnreachable(t *testing.T) {
+	_, cfg := parseFuncCFG(t, `
+	return
+	dead()`)
+	in := ForwardDataflow(cfg, calledNamesSpec())
+	if _, ok := in[callBlock(t, cfg, "dead")]; ok {
+		t.Error("unreachable block has an in-state")
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+// dataflow.go is the forward dataflow solver the CFG-based analyzers
+// share. It is deliberately tiny: a worklist to fixpoint over a CFG,
+// parameterized by the state type and its lattice operations. The
+// states the suite needs (locksets, WaitGroup add-sets) are small maps
+// over canonical expression strings, so a generic map-set join is
+// provided alongside the solver.
+
+// A FlowSpec defines one forward dataflow problem over states of type
+// S. Entry is the state at the function entry; Join merges the states
+// flowing into a block from its predecessors (union for may-
+// properties, intersection for must-properties); Equal detects the
+// fixpoint; Transfer pushes a state through one block's nodes and
+// must not mutate its input.
+type FlowSpec[S any] struct {
+	Entry    S
+	Join     func(a, b S) S
+	Equal    func(a, b S) bool
+	Transfer func(b *Block, in S) S
+}
+
+// ForwardDataflow solves the problem to fixpoint and returns the
+// in-state of every reachable block. Unreachable blocks (code after a
+// return) are absent from the result.
+func ForwardDataflow[S any](cfg *CFG, spec FlowSpec[S]) map[*Block]S {
+	in := make(map[*Block]S)
+	seen := make(map[*Block]bool)
+	in[cfg.Entry] = spec.Entry
+	seen[cfg.Entry] = true
+
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := spec.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			next := out
+			if seen[s] {
+				next = spec.Join(in[s], out)
+				if spec.Equal(next, in[s]) {
+					continue
+				}
+			}
+			in[s] = next
+			seen[s] = true
+			work = append(work, s)
+		}
+	}
+	return in
+}

@@ -1,0 +1,552 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// driver.go is the parallel, cached front end to the suite. It
+// produces output identical to the serial reference pipeline (Run):
+// the same packages, the same dependency-ordered fact flow, the same
+// sorted diagnostics. What it adds is scheduling and memoization:
+//
+//   - Packages are analyzed by a bounded worker pool as soon as their
+//     in-set imports finish, so independent subtrees of the import DAG
+//     overlap. Type-checking stays serialized behind loadMu (the
+//     shared source importer mutates its cache), but parsing and the
+//     analyzers themselves — the CFG builds, the dataflow passes —
+//     run concurrently.
+//
+//   - Each package's result (diagnostics + exported facts) is keyed by
+//     two content hashes and stored on disk. A warm run re-reads
+//     sources only to hash them; an unchanged package is restored
+//     without being parsed, type-checked, or analyzed, which is where
+//     the warm/cold speedup in BENCH_*_vet.json comes from.
+//
+// The two hashes split the two ways a package's result can go stale:
+//
+//   - ChainHash covers everything the analyzers can see through the
+//     type-checker: the package's own files, its in-set dependencies'
+//     chain hashes (so an edit anywhere below invalidates the whole
+//     import cone above it), the suite composition, and the toolchain
+//     version. Facts only flow along the import DAG, so a matching
+//     ChainHash means identical facts arrive from every dependency.
+//
+//   - HotHash covers the one input that flows AGAINST the import DAG:
+//     the hot set. pipeline.Run reaching (or no longer reaching) a
+//     store function changes hotalloc's verdict on store without any
+//     store file changing. The driver therefore rebuilds the global
+//     call graph every run — from cached call summaries, which is
+//     cheap — and only honors a cache entry whose recorded hot slice
+//     matches the fresh one.
+//
+// Soundness at the set boundary: a package whose import cone leaves
+// the listed set but stays inside the module depends on sources the
+// driver never hashed, so it (and its importers) are marked
+// uncacheable rather than risk a stale hit. A full ./... run — the
+// Makefile and CI entry point — has no such packages. Analyzer source
+// changes are outside the hash too; the Makefile and CI key the cache
+// directory on a hash of internal/analysis itself.
+const cacheSchema = "phantom-vet-cache-v1"
+
+// DriverOptions configures RunDriver.
+type DriverOptions struct {
+	// CacheDir, when non-empty, enables the on-disk result cache in
+	// that directory (created if missing). Empty disables caching:
+	// every package is loaded and analyzed.
+	CacheDir string
+
+	// Workers bounds the analysis pool. <= 0 selects GOMAXPROCS,
+	// capped at 8 (type-checking is serialized anyway; past a point
+	// more workers only contend).
+	Workers int
+}
+
+// PackageStat records how the driver handled one package.
+type PackageStat struct {
+	Path     string
+	CacheHit bool
+	Load     time.Duration // parse + type-check (zero on hits)
+	Analyze  time.Duration // all analyzers (zero on hits)
+}
+
+// AnalyzerStat is the aggregate wall time one analyzer spent across
+// all analyzed packages.
+type AnalyzerStat struct {
+	Name string
+	Wall time.Duration
+}
+
+// DriverStats is the -v report: cache effectiveness and where the
+// time went.
+type DriverStats struct {
+	Packages    int
+	CacheHits   int
+	CacheMisses int
+	Wall        time.Duration
+	PerPackage  []PackageStat  // sorted by package path
+	PerAnalyzer []AnalyzerStat // sorted by analyzer name
+}
+
+// cacheEntry is one package's persisted result.
+type cacheEntry struct {
+	Schema    string        `json:"schema"`
+	ChainHash string        `json:"chain_hash"`
+	HotHash   string        `json:"hot_hash"`
+	Facts     *PackageFacts `json:"facts"`
+	Diags     []Diagnostic  `json:"diags,omitempty"`
+}
+
+// driverNode is the per-package scheduling state.
+type driverNode struct {
+	lp          listedPackage
+	deps        []string // in-set imports, sorted
+	importers   []string // in-set reverse edges, sorted
+	uncacheable bool     // import cone leaves the listed set within the module
+	chain       string
+	hotHash     string
+	entry       *cacheEntry // chain-matched cache candidate
+	summary     *PackageFacts
+	pkg         *Package // loaded package (misses and demoted candidates)
+	hit         bool
+	diags       []Diagnostic
+	err         error
+	loadTime    time.Duration
+	analyzeTime time.Duration
+	perAnalyzer map[string]time.Duration
+}
+
+// RunDriver loads, analyzes, and (optionally) caches every package
+// matched by the `go list` patterns, returning the combined sorted
+// diagnostics and the run's statistics. With an empty CacheDir it is
+// a parallel equivalent of Load followed by Run.
+func RunDriver(suite []*Analyzer, patterns []string, opts DriverOptions) ([]Diagnostic, *DriverStats, error) {
+	start := time.Now()
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := make(map[string]*driverNode)
+	var paths []string
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		nodes[lp.ImportPath] = &driverNode{lp: lp, perAnalyzer: make(map[string]time.Duration)}
+		paths = append(paths, lp.ImportPath)
+	}
+	sort.Strings(paths)
+	linkGraph(nodes, paths)
+
+	useCache := opts.CacheDir != ""
+	if useCache {
+		if err := prepareCache(nodes, paths, suite, opts.CacheDir); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var loadMu sync.Mutex // serializes type-checking (see typeCheck)
+
+	// Phase 1: load every package with no chain-matched cache entry.
+	// Parsing runs in parallel; type-checking serializes on loadMu.
+	if err := loadMisses(nodes, paths, workers, fset, imp, &loadMu); err != nil {
+		return nil, nil, err
+	}
+
+	// Phase 2: assemble the global call graph from summaries (cached
+	// or fresh) and derive each package's hot slice; confirm or demote
+	// the cache candidates against it.
+	summaries := make(map[string]*PackageFacts, len(paths))
+	for _, path := range paths {
+		n := nodes[path]
+		if n.summary == nil {
+			n.summary = summarizePackage(n.pkg)
+		}
+		summaries[path] = n.summary
+	}
+	hot := BuildCallGraph(summaries).Reachable(HotRoots)
+	for _, path := range paths {
+		n := nodes[path]
+		n.hotHash = hashStrings(sortedKeys(hotIn(hot, n.summary))...)
+		n.hit = n.entry != nil && n.entry.HotHash == n.hotHash
+	}
+
+	// Phase 3: analyze misses (and restore hits) over the worker pool
+	// in dependency order, so facts reach each package before it runs.
+	facts := NewFactStore()
+	if err := analyzePool(suite, nodes, paths, workers, fset, imp, &loadMu, facts, hot, opts); err != nil {
+		return nil, nil, err
+	}
+
+	var out []Diagnostic
+	stats := &DriverStats{Packages: len(paths), Wall: 0}
+	analyzerTotals := make(map[string]time.Duration)
+	for _, path := range paths {
+		n := nodes[path]
+		out = append(out, n.diags...)
+		if n.hit {
+			stats.CacheHits++
+		} else {
+			stats.CacheMisses++
+		}
+		stats.PerPackage = append(stats.PerPackage, PackageStat{
+			Path: path, CacheHit: n.hit, Load: n.loadTime, Analyze: n.analyzeTime,
+		})
+		for _, name := range sortedKeysDuration(n.perAnalyzer) {
+			analyzerTotals[name] += n.perAnalyzer[name]
+		}
+	}
+	for _, name := range sortedKeysDuration(analyzerTotals) {
+		stats.PerAnalyzer = append(stats.PerAnalyzer, AnalyzerStat{Name: name, Wall: analyzerTotals[name]})
+	}
+	sortDiagnostics(out)
+	stats.Wall = time.Since(start)
+	return out, stats, nil
+}
+
+// linkGraph fills each node's in-set dependency and importer edges.
+func linkGraph(nodes map[string]*driverNode, paths []string) {
+	for _, path := range paths {
+		n := nodes[path]
+		for _, imp := range n.lp.Imports {
+			if _, ok := nodes[imp]; ok {
+				n.deps = append(n.deps, imp)
+			}
+		}
+		sort.Strings(n.deps)
+		for _, dep := range n.deps {
+			nodes[dep].importers = append(nodes[dep].importers, path)
+		}
+	}
+	for _, path := range paths {
+		sort.Strings(nodes[path].importers)
+	}
+}
+
+// prepareCache computes chain hashes, marks uncacheable nodes, and
+// loads chain-matched cache candidates (restoring their summaries).
+func prepareCache(nodes map[string]*driverNode, paths []string, suite []*Analyzer, cacheDir string) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return fmt.Errorf("phantom-vet cache: %v", err)
+	}
+	mod, err := goListModule()
+	if err != nil {
+		return err
+	}
+	suiteNames := make([]string, 0, len(suite))
+	for _, a := range suite {
+		suiteNames = append(suiteNames, a.Name)
+	}
+	suiteKey := hashStrings(append([]string{cacheSchema, runtime.Version(), strings.Join(HotRoots, "\x00")}, suiteNames...)...)
+	// Chain hashes in dependency order: every dep's chain exists
+	// before its importers need it (import cycles cannot exist).
+	done := make(map[string]bool)
+	var visit func(path string) error
+	visit = func(path string) error {
+		n := nodes[path]
+		if done[path] {
+			return nil
+		}
+		done[path] = true
+		for _, imp := range n.lp.Imports {
+			inModule := imp == mod || strings.HasPrefix(imp, mod+"/")
+			if _, inSet := nodes[imp]; inModule && !inSet {
+				n.uncacheable = true // depends on sources the driver never hashed
+			}
+		}
+		parts := []string{suiteKey}
+		for _, name := range n.lp.GoFiles {
+			data, err := os.ReadFile(filepath.Join(n.lp.Dir, name))
+			if err != nil {
+				return fmt.Errorf("phantom-vet cache: hashing %s: %v", path, err)
+			}
+			parts = append(parts, name, string(data))
+		}
+		for _, dep := range n.deps {
+			if err := visit(dep); err != nil {
+				return err
+			}
+			if nodes[dep].uncacheable {
+				n.uncacheable = true
+			}
+			parts = append(parts, dep, nodes[dep].chain)
+		}
+		n.chain = hashStrings(parts...)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return err
+		}
+	}
+	for _, path := range paths {
+		n := nodes[path]
+		if n.uncacheable {
+			continue
+		}
+		entry := readCacheEntry(cacheDir, path)
+		if entry != nil && entry.ChainHash == n.chain && entry.Facts != nil {
+			n.entry = entry
+			n.summary = entry.Facts
+		}
+	}
+	return nil
+}
+
+// loadMisses parses and type-checks every node without a cache
+// candidate, bounded by the worker count.
+func loadMisses(nodes map[string]*driverNode, paths []string, workers int, fset *token.FileSet, imp types.Importer, loadMu *sync.Mutex) error {
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, path := range paths {
+		n := nodes[path]
+		if n.entry != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(n *driverNode) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n.err = loadNode(n, fset, imp, loadMu)
+		}(n)
+	}
+	wg.Wait()
+	for _, path := range paths {
+		if err := nodes[path].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadNode parses n's files (concurrently safe) and type-checks them
+// under loadMu, recording the wall time.
+func loadNode(n *driverNode, fset *token.FileSet, imp types.Importer, loadMu *sync.Mutex) error {
+	start := time.Now()
+	files, err := parseFiles(fset, n.lp.ImportPath, n.lp.Dir, n.lp.GoFiles)
+	if err != nil {
+		return err
+	}
+	loadMu.Lock()
+	pkg, err := typeCheck(fset, imp, n.lp.ImportPath, files)
+	loadMu.Unlock()
+	if err != nil {
+		return err
+	}
+	n.pkg = pkg
+	n.loadTime = time.Since(start)
+	return nil
+}
+
+// analyzePool runs the suite over every node in dependency order with
+// bounded workers: a node is enqueued when its last in-set dependency
+// finishes, so dep facts are always in the store first.
+func analyzePool(suite []*Analyzer, nodes map[string]*driverNode, paths []string, workers int, fset *token.FileSet, imp types.Importer, loadMu *sync.Mutex, facts *FactStore, hot map[string]bool, opts DriverOptions) error {
+	ready := make(chan *driverNode, len(paths))
+	pending := make(map[string]int, len(paths))
+	var pendingMu sync.Mutex
+	remaining := len(paths)
+	for _, path := range paths {
+		pending[path] = len(nodes[path].deps)
+	}
+	for _, path := range paths {
+		if pending[path] == 0 {
+			ready <- nodes[path]
+		}
+	}
+	if remaining == 0 {
+		close(ready)
+	}
+	finish := func(n *driverNode) {
+		pendingMu.Lock()
+		for _, imp := range n.importers {
+			pending[imp]--
+			if pending[imp] == 0 {
+				ready <- nodes[imp]
+			}
+		}
+		remaining--
+		last := remaining == 0
+		pendingMu.Unlock()
+		if last {
+			close(ready)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ready {
+				if n.err == nil {
+					n.err = analyzeNode(suite, n, fset, imp, loadMu, facts, hot, opts)
+				}
+				finish(n)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, path := range paths {
+		if err := nodes[path].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// analyzeNode restores a confirmed cache hit or analyzes (loading
+// first if the candidate was demoted by a hot-set change), then
+// persists the fresh result when the cache is enabled.
+func analyzeNode(suite []*Analyzer, n *driverNode, fset *token.FileSet, imp types.Importer, loadMu *sync.Mutex, facts *FactStore, hot map[string]bool, opts DriverOptions) error {
+	if n.hit {
+		facts.Set(n.lp.ImportPath, n.entry.Facts)
+		n.diags = n.entry.Diags
+		return nil
+	}
+	if n.pkg == nil {
+		// Chain matched but the hot set moved: the cached diagnostics
+		// are stale, so load and re-analyze.
+		if err := loadNode(n, fset, imp, loadMu); err != nil {
+			return err
+		}
+		n.summary = summarizePackage(n.pkg)
+	}
+	start := time.Now()
+	diags, own := AnalyzePackage(suite, n.pkg, facts, n.summary, hotIn(hot, n.summary), func(analyzer string, d time.Duration) {
+		n.perAnalyzer[analyzer] += d
+	})
+	n.analyzeTime = time.Since(start)
+	n.diags = diags
+	if opts.CacheDir != "" && !n.uncacheable {
+		entry := &cacheEntry{
+			Schema:    cacheSchema,
+			ChainHash: n.chain,
+			HotHash:   n.hotHash,
+			Facts:     own,
+			Diags:     diags,
+		}
+		if err := writeCacheEntry(opts.CacheDir, n.lp.ImportPath, entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cacheEntryPath names a package's cache file: a readable base plus a
+// hash of the full import path to avoid collisions.
+func cacheEntryPath(dir, pkgPath string) string {
+	sum := sha256.Sum256([]byte(pkgPath))
+	return filepath.Join(dir, filepath.Base(pkgPath)+"-"+hex.EncodeToString(sum[:8])+".json")
+}
+
+// readCacheEntry loads a package's entry, or nil when absent, corrupt,
+// or from a different schema — a cache read problem is a miss, never
+// an error.
+func readCacheEntry(dir, pkgPath string) *cacheEntry {
+	data, err := os.ReadFile(cacheEntryPath(dir, pkgPath))
+	if err != nil {
+		return nil
+	}
+	var entry cacheEntry
+	if json.Unmarshal(data, &entry) != nil || entry.Schema != cacheSchema {
+		return nil
+	}
+	return &entry
+}
+
+// writeCacheEntry persists a package's entry atomically (write to a
+// temp file, then rename) so a crashed run never leaves a torn entry
+// for the next one to read.
+func writeCacheEntry(dir, pkgPath string, entry *cacheEntry) error {
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return fmt.Errorf("phantom-vet cache: encoding %s: %v", pkgPath, err)
+	}
+	target := cacheEntryPath(dir, pkgPath)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("phantom-vet cache: %v", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("phantom-vet cache: writing %s: %v", pkgPath, err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("phantom-vet cache: writing %s: %v", pkgPath, err)
+	}
+	if err := os.Rename(tmp.Name(), target); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("phantom-vet cache: %v", err)
+	}
+	return nil
+}
+
+// goListModule reports the main module's path, which bounds the
+// uncacheable-dependency check.
+func goListModule() (string, error) {
+	out, err := exec.Command("go", "list", "-m").Output()
+	if err != nil {
+		return "", fmt.Errorf("phantom-vet cache: go list -m: %v (caching requires module mode)", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// hashStrings digests its parts with length framing, so ("ab","c")
+// and ("a","bc") cannot collide.
+func hashStrings(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d\x00", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysDuration(m map[string]time.Duration) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The driver tests run against a throwaway two-package module rather
+// than the phantom tree itself: type-checking the real repo from
+// source takes seconds per run, and the cache semantics (cold fill,
+// warm hit, chain invalidation, hot-set demotion, set-boundary
+// soundness) are package-count-independent.
+
+// writeDriverModule lays out a module with one maporder violation per
+// package (maporder applies everywhere, so its findings survive the
+// driver's scope filtering on a non-phantom module path). Package b
+// imports a, giving the chain hash an edge to invalidate through.
+func writeDriverModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vetdriver.test\n\ngo 1.21\n")
+	write("a/a.go", `package a
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`)
+	write("b/b.go", `package b
+
+import "vetdriver.test/a"
+
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return a.Keys(m)[0]
+}
+`)
+	return root
+}
+
+// inDir chdirs into dir for the duration of the test. Driver tests
+// share the process working directory, so none of them may run in
+// parallel.
+func inDir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func driverRun(t *testing.T, cacheDir string) ([]Diagnostic, *DriverStats) {
+	t.Helper()
+	diags, stats, err := RunDriver(Suite(), []string{"./..."}, DriverOptions{CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats
+}
+
+func TestDriverColdThenWarm(t *testing.T) {
+	inDir(t, writeDriverModule(t))
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+
+	cold, coldStats := driverRun(t, cacheDir)
+	if coldStats.CacheHits != 0 || coldStats.CacheMisses != 2 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/2", coldStats.CacheHits, coldStats.CacheMisses)
+	}
+	if len(cold) != 2 {
+		t.Fatalf("cold run: %d diagnostics, want 2 (one maporder finding per package): %v", len(cold), cold)
+	}
+
+	warm, warmStats := driverRun(t, cacheDir)
+	if warmStats.CacheHits != 2 || warmStats.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 2/0", warmStats.CacheHits, warmStats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm diagnostics differ from cold:\ncold: %v\nwarm: %v", cold, warm)
+	}
+	for _, ps := range warmStats.PerPackage {
+		if !ps.CacheHit {
+			t.Errorf("warm run: package %s was not a cache hit", ps.Path)
+		}
+		if ps.Load != 0 || ps.Analyze != 0 {
+			t.Errorf("warm run: package %s spent load=%v analyze=%v; hits must skip both", ps.Path, ps.Load, ps.Analyze)
+		}
+	}
+}
+
+// TestDriverChainInvalidation pins that editing a package re-analyzes
+// it AND its importers: b's chain hash embeds a's, so a change to a
+// invalidates both even though b's own files are untouched (b's
+// diagnostics can depend on a's facts).
+func TestDriverChainInvalidation(t *testing.T) {
+	root := writeDriverModule(t)
+	inDir(t, root)
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	driverRun(t, cacheDir)
+
+	src := filepath.Join(root, "a", "a.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(data, []byte("\nfunc Extra() int { return 1 }\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats := driverRun(t, cacheDir)
+	if stats.CacheHits != 0 || stats.CacheMisses != 2 {
+		t.Fatalf("after editing a: hits=%d misses=%d, want 0/2 (a changed, b imports a)", stats.CacheHits, stats.CacheMisses)
+	}
+
+	// A further untouched run is fully warm again.
+	_, stats = driverRun(t, cacheDir)
+	if stats.CacheHits != 2 {
+		t.Fatalf("re-warm run: hits=%d, want 2", stats.CacheHits)
+	}
+}
+
+// TestDriverHotHashDemotion pins the second cache key: an entry whose
+// chain still matches but whose recorded hot slice does not is
+// demoted to a miss and re-analyzed, not served stale.
+func TestDriverHotHashDemotion(t *testing.T) {
+	inDir(t, writeDriverModule(t))
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	cold, _ := driverRun(t, cacheDir)
+
+	entryPath := cacheEntryPath(cacheDir, "vetdriver.test/a")
+	data, err := os.ReadFile(entryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		t.Fatal(err)
+	}
+	entry.HotHash = "stale-hot-hash"
+	doctored, err := json.Marshal(&entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entryPath, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, stats := driverRun(t, cacheDir)
+	if stats.CacheHits != 1 || stats.CacheMisses != 1 {
+		t.Fatalf("after hot-hash drift on a: hits=%d misses=%d, want 1/1", stats.CacheHits, stats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("demoted re-analysis changed output:\ncold: %v\ngot:  %v", cold, warm)
+	}
+}
+
+// TestDriverSetBoundaryUncacheable pins the soundness rule for
+// partial patterns: a package importing an in-module package outside
+// the listed set is never cached, because the driver cannot hash the
+// dependency's sources.
+func TestDriverSetBoundaryUncacheable(t *testing.T) {
+	inDir(t, writeDriverModule(t))
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+
+	run := func() *DriverStats {
+		t.Helper()
+		_, stats, err := RunDriver(Suite(), []string{"./b"}, DriverOptions{CacheDir: cacheDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	run()
+	stats := run()
+	if stats.CacheHits != 0 || stats.CacheMisses != 1 {
+		t.Fatalf("partial-set rerun: hits=%d misses=%d, want 0/1 (b's import cone leaves the set)", stats.CacheHits, stats.CacheMisses)
+	}
+	if _, err := os.Stat(cacheEntryPath(cacheDir, "vetdriver.test/b")); !os.IsNotExist(err) {
+		t.Fatalf("uncacheable package b has a cache entry on disk (stat err: %v)", err)
+	}
+}
+
+// TestDriverCorruptEntryIsMiss pins that a torn or garbage cache file
+// degrades to a miss instead of failing the run.
+func TestDriverCorruptEntryIsMiss(t *testing.T) {
+	inDir(t, writeDriverModule(t))
+	cacheDir := filepath.Join(t.TempDir(), "vetcache")
+	cold, _ := driverRun(t, cacheDir)
+
+	entryPath := cacheEntryPath(cacheDir, "vetdriver.test/a")
+	if err := os.WriteFile(entryPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm, stats := driverRun(t, cacheDir)
+	if stats.CacheMisses != 1 {
+		t.Fatalf("corrupt entry: misses=%d, want 1", stats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("corrupt-entry recovery changed output:\ncold: %v\ngot:  %v", cold, warm)
+	}
+}
+
+// TestDriverMatchesRun pins the documented contract: the parallel
+// driver's output is byte-identical to the serial reference pipeline.
+func TestDriverMatchesRun(t *testing.T) {
+	inDir(t, writeDriverModule(t))
+
+	fromDriver, _, err := RunDriver(Suite(), []string{"./..."}, DriverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRun := Run(Suite(), pkgs)
+	if !reflect.DeepEqual(fromDriver, fromRun) {
+		t.Fatalf("driver and serial pipeline disagree:\ndriver: %v\nserial: %v", fromDriver, fromRun)
+	}
+	for _, d := range fromRun {
+		if !strings.Contains(d.Message, "random order") && !strings.Contains(d.Message, "arbitrary element") {
+			t.Errorf("unexpected diagnostic class: %v", d)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak flags goroutines spawned without a join or cancel edge, and
+// WaitGroup miscounts around the spawn.
+//
+// The sweep fan-out and the service coalescer spawn one goroutine per
+// shard/flight; every one of them must be joinable (WaitGroup,
+// channel) or cancellable (context), or a wedged node leaks a
+// goroutine per request until the process dies — a failure mode load
+// tests only reveal after hours. Three rules, all over `go func(...)`
+// literals (a spawn of a named function is joined by whatever
+// machinery that function was built around, which is out of local
+// view and stays out of scope):
+//
+//  1. The goroutine body must contain a join/cancel edge: a
+//     WaitGroup.Done, a channel operation (send, receive, close,
+//     select), a context.CancelFunc call, or use of a context.Context
+//     — anything that ties its lifetime to a peer. A body with none of
+//     these is fire-and-forget and is flagged.
+//  2. If the body calls wg.Done, a wg.Add must dominate the spawn: on
+//     every CFG path from function entry to the go statement, an Add
+//     on the same WaitGroup has already executed. Add placed after the
+//     spawn (or on only one branch) races Wait.
+//  3. wg.Add must not be called inside the spawned body itself — by
+//     the time the goroutine runs, Wait may already have returned.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "flag `go func` goroutines with no join or cancel edge (WaitGroup/channel/context), " +
+		"spawns whose wg.Done has no dominating wg.Add, and wg.Add inside the spawned body",
+	Applies: goLeakScope,
+	Run:     runGoLeak,
+}
+
+// goLeakScope matches lockCheckScope: the tier that spawns.
+func goLeakScope(pkgPath, filename string) bool {
+	return lockCheckScope(pkgPath, filename)
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSpawns(pass, n)
+				}
+			case *ast.FuncLit:
+				checkSpawns(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpawns finds the `go func` statements directly inside fn's body
+// (not inside nested literals — those are visited as their own fn) and
+// applies the three rules.
+func checkSpawns(pass *Pass, fn ast.Node) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	var spawns []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if g, ok := n.(*ast.GoStmt); ok {
+			if _, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				spawns = append(spawns, g)
+			}
+			return false // the spawned literal belongs to rule checks, not re-walk
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	var cfg *CFG
+	for _, g := range spawns {
+		lit := g.Call.Fun.(*ast.FuncLit)
+		if wg, ok := spawnAddsInsideBody(pass, lit); ok {
+			pass.Reportf(g.Pos(), "%s.Add is called inside the spawned goroutine; Wait can return before the goroutine runs — Add before the go statement", wg)
+			continue
+		}
+		doneWGs := doneTargets(pass, lit)
+		if len(doneWGs) == 0 && !hasJoinEdge(pass, g, lit) {
+			pass.Reportf(g.Pos(), "goroutine has no join or cancel edge (no WaitGroup.Done, channel operation, or context); a wedged body leaks it forever")
+			continue
+		}
+		if len(doneWGs) > 0 {
+			if cfg == nil {
+				cfg = pass.CFG(fn)
+			}
+			checkAddDominatesSpawn(pass, cfg, g, doneWGs)
+		}
+	}
+}
+
+// spawnAddsInsideBody reports whether the spawned literal's own body
+// (not further-nested literals) calls WaitGroup.Add.
+func spawnAddsInsideBody(pass *Pass, lit *ast.FuncLit) (string, bool) {
+	var wg string
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, op, ok := wgOp(pass, call); ok && op == "Add" {
+				wg, found = recv, true
+			}
+		}
+		return true
+	})
+	return wg, found
+}
+
+// doneTargets collects the canonical receivers of WaitGroup.Done calls
+// in the spawned body (including deferred ones).
+func doneTargets(pass *Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, op, ok := wgOp(pass, call); ok && op == "Done" && !seen[recv] {
+				seen[recv] = true
+				out = append(out, recv)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hasJoinEdge reports whether the spawned goroutine's lifetime is tied
+// to a peer: a channel operation, select, context use, or CancelFunc
+// call in its body, or a channel/context argument passed at the spawn.
+func hasJoinEdge(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit) bool {
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && isJoinType(tv.Type) {
+			return true
+		}
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			joined = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := builtinName(pass, n); ok && name == "close" {
+				joined = true
+				return false
+			}
+			if tv, ok := pass.Info.Types[n.Fun]; ok && isCancelFunc(tv.Type) {
+				joined = true
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isJoinType(obj.Type()) {
+				joined = true
+			}
+		}
+		return !joined
+	})
+	return joined
+}
+
+// isJoinType reports whether t ties a goroutine to a peer: a channel,
+// a context.Context, or a context.CancelFunc.
+func isJoinType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return obj.Name() == "Context" || obj.Name() == "CancelFunc"
+		}
+	}
+	return isCancelFunc(t)
+}
+
+func isCancelFunc(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "CancelFunc"
+}
+
+// wgOp classifies call as a WaitGroup Add/Done/Wait on a canonical
+// receiver.
+func wgOp(pass *Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.WaitGroup).Add", "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+	default:
+		return "", "", false
+	}
+	recv, ok = canonicalRecv(sel.X)
+	if !ok {
+		return "", "", false
+	}
+	return recv, fn.Name(), true
+}
+
+// checkAddDominatesSpawn verifies via a must-dataflow that on every CFG
+// path reaching g's block, every WaitGroup the spawned body calls Done
+// on has had Add called. States are must-sets of added receivers;
+// within g's block the statements before g are replayed to position the
+// check exactly at the spawn.
+func checkAddDominatesSpawn(pass *Pass, cfg *CFG, g *ast.GoStmt, doneWGs []string) {
+	spawnBlock := cfg.BlockOf(g)
+	if spawnBlock == nil {
+		return
+	}
+	adds := func(n ast.Node, set map[string]bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if recv, op, ok := wgOp(pass, call); ok && op == "Add" {
+					set[recv] = true
+				}
+			}
+			return true
+		})
+	}
+	in := ForwardDataflow(cfg, FlowSpec[map[string]bool]{
+		Entry: map[string]bool{},
+		Join: func(a, b map[string]bool) map[string]bool {
+			out := make(map[string]bool)
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in map[string]bool) map[string]bool {
+			out := make(map[string]bool, len(in))
+			for k := range in {
+				out[k] = true
+			}
+			for _, n := range b.Nodes {
+				adds(n, out)
+			}
+			return out
+		},
+	})
+	state, ok := in[spawnBlock]
+	if !ok {
+		return // spawn unreachable
+	}
+	have := make(map[string]bool, len(state))
+	for k := range state {
+		have[k] = true
+	}
+	for _, n := range spawnBlock.Nodes {
+		if n == ast.Node(g) {
+			break
+		}
+		adds(n, have)
+	}
+	for _, wg := range doneWGs {
+		if !have[wg] {
+			pass.Reportf(g.Pos(), "goroutine calls %s.Done but no %s.Add dominates the spawn; Wait can return early or panic on a negative counter", wg, wg)
+		}
+	}
+}

@@ -17,12 +17,14 @@ import (
 )
 
 // listedPackage is the subset of `go list -json` output the loader
-// needs.
+// needs. Imports feeds the driver's dependency ordering and content
+// chain hashes; it costs nothing extra to list.
 type listedPackage struct {
 	Dir        string
 	ImportPath string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 }
 
 // Load expands the given `go list` patterns (./..., package paths, or
@@ -67,7 +69,7 @@ func Load(patterns []string) ([]*Package, error) {
 // constraints, module resolution, and pattern syntax all live in the
 // go command.
 func goList(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles", "--"}, patterns...)
+	args := append([]string{"list", "-json=Dir,ImportPath,Name,GoFiles,Imports", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout
@@ -93,6 +95,17 @@ func goList(patterns []string) ([]listedPackage, error) {
 
 // checkPackage parses and type-checks one package's files.
 func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	files, err := parseFiles(fset, pkgPath, dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return typeCheck(fset, imp, pkgPath, files)
+}
+
+// parseFiles parses one package's files. A token.FileSet is safe for
+// concurrent use, so the driver runs this phase in parallel across
+// packages.
+func parseFiles(fset *token.FileSet, pkgPath, dir string, goFiles []string) ([]*ast.File, error) {
 	files := make([]*ast.File, 0, len(goFiles))
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -101,6 +114,14 @@ func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath, dir string, 
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// typeCheck resolves types for already-parsed files. The shared source
+// importer mutates its internal cache, so callers that type-check from
+// multiple goroutines must serialize calls (the driver holds a mutex
+// here; Load is serial).
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []*ast.File) (*Package, error) {
 	info := newInfo()
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(pkgPath, fset, files, info)

@@ -1,6 +1,9 @@
 package analysis
 
 import (
+	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,5 +57,84 @@ func TestLoadRunsSuiteOnIntraModuleImports(t *testing.T) {
 func TestLoadBadPattern(t *testing.T) {
 	if _, err := Load([]string{"phantom/internal/definitely-not-here"}); err == nil {
 		t.Fatal("expected an error for an unknown package")
+	}
+}
+
+// writeLoadErrorModule lays out a module whose packages each trip one
+// loader error path: a syntax error, an unresolvable import, and a
+// directory with no Go files at all.
+func writeLoadErrorModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module loaderr.test\n\ngo 1.21\n")
+	write("syntax/syntax.go", "package syntax\n\nfunc broken( {}\n")
+	write("badimport/badimport.go", "package badimport\n\nimport \"no/such/module/anywhere\"\n\nvar _ = anywhere.X\n")
+	write("empty/README.txt", "no Go files here\n")
+	return root
+}
+
+// TestLoadUnparsableFile pins that a syntax error surfaces as a Load
+// error naming the package, not a panic or a silently skipped file.
+func TestLoadUnparsableFile(t *testing.T) {
+	inDir(t, writeLoadErrorModule(t))
+	_, err := Load([]string{"./syntax"})
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if !strings.Contains(err.Error(), "syntax") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+}
+
+// TestLoadMissingImport pins the type-check error path: an import the
+// source importer cannot resolve fails the load with a type-checking
+// error rather than producing a half-typed package the analyzers
+// would mis-judge.
+func TestLoadMissingImport(t *testing.T) {
+	inDir(t, writeLoadErrorModule(t))
+	_, err := Load([]string{"./badimport"})
+	if err == nil {
+		t.Fatal("expected a type-check error")
+	}
+	if !strings.Contains(err.Error(), "badimport") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+}
+
+// TestLoadEmptyPackage pins the no-Go-files path: `go list` rejects
+// the directory, and the pattern error propagates.
+func TestLoadEmptyPackage(t *testing.T) {
+	inDir(t, writeLoadErrorModule(t))
+	_, err := Load([]string{"./empty"})
+	if err == nil {
+		t.Fatal("expected an error for a directory without Go files")
+	}
+}
+
+// TestParseDirRejectsMultiplePackages pins the fixture-harness loader
+// error path: a testdata directory holding two package clauses is a
+// broken fixture, not a choice.
+func TestParseDirRejectsMultiplePackages(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"a.go": "package a\n",
+		"b.go": "package b\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := parseDir(token.NewFileSet(), dir); err == nil {
+		t.Fatal("expected an error for two packages in one fixture dir")
 	}
 }

@@ -75,7 +75,7 @@ func checkMapRanges(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
 		switch s := s.(type) {
 		case *ast.RangeStmt:
 			if isMapType(pass, s.X) {
-				checkMapRangeBody(pass, s, rest)
+				checkMapRangeBody(pass, fn, s, rest)
 			}
 			walkBlock(s.Body.List)
 		case *ast.BlockStmt:
@@ -126,7 +126,7 @@ func isMapType(pass *Pass, x ast.Expr) bool {
 // used to discharge appends via a later sort. breakable tracks whether
 // an unlabeled break at the current nesting level would exit the map
 // range itself (true) or an inner loop/switch (false).
-func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+func checkMapRangeBody(pass *Pass, fn ast.Node, rs *ast.RangeStmt, rest []ast.Stmt) {
 	var walk func(stmts []ast.Stmt, breakable bool)
 	walkStmt := func(s ast.Stmt, breakable bool) {
 		switch s := s.(type) {
@@ -157,7 +157,7 @@ func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 				pass.Reportf(s.Pos(), "break out of a map range selects an arbitrary element; iterate sorted keys")
 			}
 		case *ast.ReturnStmt:
-			if len(s.Results) > 0 {
+			if len(s.Results) > 0 && !constantReturn(pass, s) {
 				pass.Reportf(s.Pos(), "return inside a map range selects an arbitrary element; iterate sorted keys")
 			}
 		case *ast.SendStmt:
@@ -167,7 +167,7 @@ func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
 		case *ast.ExprStmt:
 			checkMapRangeCall(pass, s.X)
 		case *ast.AssignStmt:
-			checkMapRangeAssign(pass, s, rs, rest)
+			checkMapRangeAssign(pass, fn, s, rs, rest)
 		}
 	}
 	walk = func(stmts []ast.Stmt, breakable bool) {
@@ -215,7 +215,7 @@ func checkMapRangeCall(pass *Pass, call ast.Expr) {
 }
 
 // checkMapRangeAssign handles assignments inside a map range body.
-func checkMapRangeAssign(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt, rest []ast.Stmt) {
+func checkMapRangeAssign(pass *Pass, fn ast.Node, s *ast.AssignStmt, rs *ast.RangeStmt, rest []ast.Stmt) {
 	switch s.Tok {
 	case token.ASSIGN, token.DEFINE:
 		// x[k] = v, locals, and field sets are order-insensitive (the
@@ -226,7 +226,7 @@ func checkMapRangeAssign(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt, rest 
 		for i, rhs := range s.Rhs {
 			if call, ok := rhs.(*ast.CallExpr); ok {
 				if name, ok := builtinName(pass, call); ok && name == "append" && i < len(s.Lhs) {
-					if !sortedLater(pass, s.Lhs[i], rest) {
+					if !sortedLater(pass, s.Lhs[i], rest) && !sortedOnAllPaths(pass, fn, rs, s.Lhs[i]) {
 						pass.Reportf(call.Pos(), "append inside a map range builds a slice in random order; sort it before use (or collect keys and sort)")
 					}
 				}
@@ -254,6 +254,31 @@ func checkMapRangeAssign(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt, rest 
 	}
 }
 
+// constantReturn reports whether every result of s is a compile-time
+// constant or nil. Such a return cannot select an arbitrary element:
+// the value carried out is the same whichever iteration triggered it.
+// This is the existential-predicate idiom —
+//
+//	for k := range a {
+//		if !b[k] {
+//			return false
+//		}
+//	}
+//
+// — where "does any key fail?" is order-independent by construction.
+// If the body also had an order-sensitive effect before the early
+// return, that effect is flagged by its own rule; discharging the
+// return itself costs nothing.
+func constantReturn(pass *Pass, s *ast.ReturnStmt) bool {
+	for _, r := range s.Results {
+		tv, ok := pass.Info.Types[r]
+		if !ok || (tv.Value == nil && !tv.IsNil()) {
+			return false
+		}
+	}
+	return true
+}
+
 // sortedLater reports whether target (the LHS of an append inside a
 // map range) is passed to a sort function in the statements following
 // the range before anything else uses it. Only the canonical direct
@@ -271,28 +296,14 @@ func sortedLater(pass *Pass, target ast.Expr, rest []ast.Stmt) bool {
 		return false
 	}
 	for _, s := range rest {
-		found := false
-		ast.Inspect(s, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
+		// Only an unconditional top-level sort statement discharges
+		// here. A sort buried inside an if/loop in a following
+		// statement runs on some paths only — that case falls through
+		// to sortedOnAllPaths, which judges each path separately.
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && isSortCall(pass, call, obj) {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			_, pkgPath := selectorPackage(pass, sel)
-			if pkgPath != "sort" && pkgPath != "slices" {
-				return true
-			}
-			if argID, ok := call.Args[0].(*ast.Ident); ok && pass.Info.Uses[argID] == obj {
-				found = true
-				return false
-			}
-			return true
-		})
-		if found {
-			return true
 		}
 		// Any other use of the slice before a sort (a return, a write,
 		// a call argument) consumes it in map order. Further appends —
@@ -354,6 +365,94 @@ func isSelfAppend(pass *Pass, as *ast.AssignStmt, obj types.Object) bool {
 		}
 	}
 	return true
+}
+
+// sortedOnAllPaths is the flow-aware fallback for sortedLater: when
+// the sort does not lexically follow the range in the same block —
+// the range sits inside an if-arm or inner block and the sort lives
+// in the enclosing one — the lexical window is empty and the old
+// analyzer flagged the append anyway. Here the CFG answers the real
+// question: starting from the block the range exits into, does every
+// path reach a sort.X(target)/slices.X(target) call before any other
+// (order-sensitive) use of target? Reaching function exit without a
+// use also discharges — a slice nobody reads leaks no ordering.
+func sortedOnAllPaths(pass *Pass, fn ast.Node, rs *ast.RangeStmt, target ast.Expr) bool {
+	id, ok := target.(*ast.Ident)
+	if !ok || fn == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	cfg := pass.CFG(fn)
+	start := cfg.After(rs)
+	if start == nil {
+		return false
+	}
+	seen := make(map[*Block]bool)
+	var ok2 func(b *Block) bool
+	ok2 = func(b *Block) bool {
+		if seen[b] {
+			// Already under consideration or proven: a cycle back here
+			// without an intervening use cannot introduce one.
+			return true
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if nodeSortsObject(pass, n, obj) {
+				return true // this path is discharged from here on
+			}
+			if usesObjectOrderSensitively(pass, n, obj) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if !ok2(s) {
+				return false
+			}
+		}
+		return true
+	}
+	return ok2(start)
+}
+
+// nodeSortsObject reports whether n contains a sort.X(obj, ...) or
+// slices.X(obj, ...) call.
+func nodeSortsObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && isSortCall(pass, call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call is sort.X(obj, ...) or
+// slices.X(obj, ...).
+func isSortCall(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	_, pkgPath := selectorPackage(pass, sel)
+	if pkgPath != "sort" && pkgPath != "slices" {
+		return false
+	}
+	argID, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.Info.Uses[argID] == obj
 }
 
 // builtinName returns the name of the builtin being called, if the

@@ -11,6 +11,11 @@ func Suite() []*Analyzer {
 		NoPerturb,
 		CtxFlow,
 		FaultAlloc,
+		LockCheck,
+		ErrFlow,
+		GoLeak,
+		HotAlloc,
+		UnusedIgnore,
 	}
 }
 

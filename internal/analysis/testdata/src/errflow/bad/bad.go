@@ -1,0 +1,55 @@
+package bad
+
+import (
+	"bufio"
+	"os"
+)
+
+func write(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() // want "Close discards its error"
+		return err
+	}
+	f.Sync()  // want "Sync discards its error, which reports whether the write reached disk"
+	f.Close() // want "Close discards its error"
+	return nil
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "defer Close discards its error"
+}
+
+func spawned(f *os.File) {
+	go f.Sync() // want "go Sync discards its error"
+}
+
+func commit(tmp, final string) {
+	os.Rename(tmp, final) // want "Rename discards its error, which is the commit point"
+}
+
+func flush(w *bufio.Writer) {
+	w.Flush() // want "Flush discards its error"
+}
+
+// syncAll wraps a durability primitive and surfaces its error, so it
+// is itself a durability op: callers may not drop its error either.
+func syncAll(f *os.File) error {
+	return f.Sync()
+}
+
+// syncBoth is durable transitively, through syncAll.
+func syncBoth(a, b *os.File) error {
+	if err := syncAll(a); err != nil {
+		return err
+	}
+	return syncAll(b)
+}
+
+func callHelpers(f *os.File) {
+	syncAll(f)     // want "syncAll discards its error, which calls os.File.Sync"
+	syncBoth(f, f) // want "syncBoth discards its error, which calls bad.syncAll"
+}

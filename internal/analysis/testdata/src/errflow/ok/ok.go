@@ -1,0 +1,49 @@
+package ok
+
+import (
+	"fmt"
+	"os"
+)
+
+func write(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close() // explicit, auditable drop on the error path
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func deferredChecked(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}
+
+// A non-durability error may be dropped; that is another linter's
+// fight, not errflow's.
+func parse(s string) error {
+	var n int
+	_, err := fmt.Sscanf(s, "%d", &n)
+	return err
+}
+
+func dropsNonDurable(s string) {
+	parse(s)
+}
+
+// Calls with no error result are never durability ops.
+func name(f *os.File) string {
+	return f.Name()
+}

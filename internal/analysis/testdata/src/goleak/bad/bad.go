@@ -1,0 +1,49 @@
+package bad
+
+import "sync"
+
+var sink int
+
+func fireAndForget() {
+	go func() { // want "no join or cancel edge"
+		sink++
+	}()
+}
+
+func addInside(wg *sync.WaitGroup) {
+	go func() { // want "Add is called inside the spawned goroutine"
+		wg.Add(1)
+		defer wg.Done()
+		sink++
+	}()
+	wg.Wait()
+}
+
+func addOnOneBranch(wg *sync.WaitGroup, extra bool) {
+	if extra {
+		wg.Add(1)
+	}
+	go func() { // want "no wg.Add dominates the spawn"
+		defer wg.Done()
+		sink++
+	}()
+}
+
+func addAfterSpawn(wg *sync.WaitGroup) {
+	go func() { // want "no wg.Add dominates the spawn"
+		defer wg.Done()
+		sink++
+	}()
+	wg.Add(1)
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) fieldReceiver() {
+	go func() { // want "no p.wg.Add dominates the spawn"
+		defer p.wg.Done()
+		sink++
+	}()
+}

@@ -1,0 +1,81 @@
+package ok
+
+import (
+	"context"
+	"sync"
+)
+
+func joined(n int) []int {
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// A send ties the goroutine's lifetime to the receiver.
+func channelJoined() chan int {
+	c := make(chan int)
+	go func() {
+		c <- 1
+	}()
+	return c
+}
+
+// Closing a done channel is a join edge.
+func closesDone(done chan struct{}) {
+	go func() {
+		defer close(done)
+	}()
+}
+
+// A context-scoped body is cancellable: the spawner can end it.
+func ctxScoped(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// The channel passed at the spawn is the join edge even when the body
+// only writes through the parameter.
+func passedChan() {
+	done := make(chan struct{})
+	go func(d chan struct{}) {
+		close(d)
+	}(done)
+	<-done
+}
+
+// Add before a conditional spawn still dominates it.
+func addBeforeBranch(wg *sync.WaitGroup, extra bool) {
+	wg.Add(1)
+	if extra {
+		go func() {
+			defer wg.Done()
+		}()
+		return
+	}
+	wg.Done()
+}
+
+// Spawning a named function is out of scope: its join machinery is its
+// own business.
+func runsNamed(f func()) {
+	go namedWorker(f)
+}
+
+func namedWorker(f func()) { f() }
+
+// Ranging over a channel is a join edge.
+func drains(c chan int) {
+	go func() {
+		for range c {
+		}
+	}()
+}

@@ -1,0 +1,68 @@
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper embeds a lock-bearing struct by value; copying it copies the
+// mutex too.
+type wrapper struct {
+	c counter
+}
+
+func byValue(c counter) int { // want "parameter carries sync.Mutex by value"
+	return c.n
+}
+
+func (c counter) get() int { // want "receiver carries sync.Mutex by value"
+	return c.n
+}
+
+func nested(w wrapper) int { // want "parameter carries sync.Mutex by value"
+	return w.c.n
+}
+
+func copyAssign(c *counter) {
+	d := *c // want "assignment copies a value carrying sync.Mutex"
+	_ = d
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range copies elements carrying sync.Mutex"
+		total += c.n
+	}
+	return total
+}
+
+func leakOnBranch(c *counter, fail bool) int {
+	c.mu.Lock() // want "locked here but not released on every path to return"
+	if fail {
+		return -1
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+func leakAlways(c *counter) int {
+	c.mu.Lock() // want "locked here but not released on every path to return"
+	return c.n
+}
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want "while every path here already holds it"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type group struct {
+	wg sync.WaitGroup
+}
+
+func waitGroupByValue(g group) { // want "parameter carries sync.WaitGroup by value"
+	g.wg.Wait()
+}

@@ -1,0 +1,95 @@
+package ok
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Both paths release before returning: no leak even without defer.
+func (c *counter) branchy(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// A deferred closure releasing the lock counts as a release on every
+// exit path.
+func (c *counter) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+}
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (c *cache) read(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+// Read lock released, then the write lock taken: distinct lock modes
+// on the same receiver are not a double-lock.
+func (c *cache) upgrade(k string) {
+	c.mu.RLock()
+	_, seen := c.m[k]
+	c.mu.RUnlock()
+	if seen {
+		return
+	}
+	c.mu.Lock()
+	c.m[k] = 1
+	c.mu.Unlock()
+}
+
+// Pointers to lock-bearing values are the sanctioned shape everywhere:
+// parameters, ranges, assignments.
+func pointers(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		c.incr()
+		total += c.get()
+	}
+	return total
+}
+
+// Fresh values initialize rather than copy an existing lock.
+func fresh() *counter {
+	c := counter{}
+	return &c
+}
+
+// Re-lock after an unconditional unlock is sequential use, not a
+// double-lock.
+func (c *counter) twice() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+}

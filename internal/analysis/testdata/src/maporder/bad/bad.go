@@ -3,7 +3,10 @@
 // order-dependent accumulation, and arbitrary-element selection.
 package bad
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 func unsortedAppend(m map[string]int) []string {
 	var keys []string
@@ -34,6 +37,30 @@ func pickAny(m map[string]int) string {
 		return k // want "arbitrary element"
 	}
 	return ""
+}
+
+// A computed (non-constant) early return still selects an arbitrary
+// element: the constant-return discharge must not reach it.
+func firstPositive(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v // want "arbitrary element"
+		}
+	}
+	return 0
+}
+
+// A sort on only one path does not discharge the append: the flow-
+// aware check requires it on every path to a use.
+func sortedOnOnePath(m map[string]int, skip bool, render func([]string)) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "builds a slice in random order"
+	}
+	if !skip {
+		sort.Strings(keys)
+	}
+	render(keys)
 }
 
 func breaksOut(m map[string]int) {

@@ -84,3 +84,49 @@ func suppressedPick(m map[string]int) string {
 	}
 	return ""
 }
+
+// containsAll pins the constant-return discharge: an early `return
+// false` is an existential test ("does any key fail?"), and existence
+// does not depend on iteration order. The pre-CFG analyzer flagged
+// this as arbitrary-element selection.
+func containsAll(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// disjoint pins the same discharge for multi-value constant returns
+// (false and nil carry no element out of the loop).
+func disjoint(a, b map[string]bool) (bool, error) {
+	for k := range a {
+		if b[k] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// keysMaybeFiltered pins the flow-aware collect-then-sort discharge:
+// the ranges sit inside if-arms, so no sort lexically follows them in
+// their own block — but on every control-flow path the slice is sorted
+// before any use. The pre-CFG analyzer, whose discharge window was the
+// enclosing block's statement tail, flagged both appends.
+func keysMaybeFiltered(m map[string]int, filter bool) []string {
+	var keys []string
+	if filter {
+		for k := range m {
+			if m[k] > 0 {
+				keys = append(keys, k)
+			}
+		}
+	} else {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,16 @@
+package bad
+
+import "fmt"
+
+// The maporder suppression below is earning its keep (the Println
+// really does run in map order); the three after it are the decay
+// modes unusedignore exists to catch.
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) //phantomvet:ignore maporder fixture pins a used suppression staying silent
+	}
+	_ = 1 //phantomvet:ignore determinism stale: the clock read this silenced is long gone // want "determinism suppresses nothing here"
+	_ = 2 //phantomvet:ignore nosuchvet typo'd analyzer names can never suppress // want "unknown analyzer"
+	_ = 3 //phantomvet:ignore all blanket directive with nothing left under it // want "all suppresses nothing"
+}

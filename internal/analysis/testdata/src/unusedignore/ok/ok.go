@@ -1,0 +1,19 @@
+package ok
+
+import "fmt"
+
+// Every directive in this package suppresses a live finding, so the
+// dead-suppression check stays silent.
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) //phantomvet:ignore maporder output order is asserted nowhere; this sink is a debug aid
+	}
+}
+
+// A sentence that merely mentions phantomvet:ignore maporder in prose
+// — like this one, or an indented example in a doc comment — is not a
+// directive and must not be reported as unused:
+//
+//	x := pick(m) //phantomvet:ignore maporder keys re-sorted by caller
+func doc() {}

@@ -185,7 +185,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		lock.Close()
+		_ = lock.Close()
 		return nil, fmt.Errorf("store: %s is in use by another process: %w", dir, err)
 	}
 	s := &Store{
@@ -196,7 +196,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		order: list.New(),
 	}
 	if err := s.load(); err != nil {
-		s.Close()
+		_ = s.Close()
 		return nil, err
 	}
 	return s, nil
@@ -228,7 +228,7 @@ func (s *Store) load() error {
 		}
 		seg := &segment{id: fn.id, path: fn.name, f: f}
 		if err := s.scanSegment(seg); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		s.segs = append(s.segs, seg)
@@ -360,7 +360,7 @@ func (s *Store) rotate() (*segment, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := writeHeader(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	seg := &segment{id: id, path: path, f: f, size: headerSize}
@@ -489,8 +489,8 @@ func (s *Store) compactLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	cleanup := func(e error) error {
-		tmp.Close()
-		os.Remove(tmpPath)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 		return e
 	}
 	if err := writeHeader(tmp); err != nil {
@@ -531,15 +531,23 @@ func (s *Store) compactLocked() error {
 		e.seg = newSeg
 		e.off = p.off
 	}
+	// The new segment is synced and renamed into place: compaction has
+	// committed. A leftover old segment is not harmless, though — the
+	// next Open would rescan it and resurrect dead records — so a failed
+	// unlink must reach the caller even though the in-memory state is
+	// already consistent.
+	var rmErr error
 	for _, seg := range s.segs {
-		seg.f.Close()
-		os.Remove(seg.path)
+		_ = seg.f.Close() // old segments were only read; their data is in newSeg
+		if err := os.Remove(seg.path); err != nil && rmErr == nil {
+			rmErr = fmt.Errorf("store: removing compacted segment: %w", err)
+		}
 	}
 	s.segs = []*segment{newSeg}
 	s.dead = 0
 	s.total = off
 	s.compactions++
-	return nil
+	return rmErr
 }
 
 // Stats snapshots the store counters.
@@ -581,7 +589,7 @@ func (s *Store) Close() error {
 	}
 	s.segs = nil
 	if s.lock != nil {
-		syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN) //nolint:errcheck // closing anyway
+		_ = syscall.Flock(int(s.lock.Fd()), syscall.LOCK_UN) // closing anyway
 		if err := s.lock.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
